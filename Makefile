@@ -1,0 +1,41 @@
+# PrivAnalyzer reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments tables fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+test-short:
+	$(GO) test -short ./...
+
+# Quick full benchmark sweep (one iteration per cell); the default
+# benchtime takes far longer across BenchmarkROSA's ~140 cells.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... 2>&1 | tee bench_output.txt
+
+# Run the whole evaluation and compare every cell against the paper.
+experiments:
+	$(GO) run ./cmd/privanalyzer -experiments -parallel
+
+tables:
+	$(GO) run ./cmd/privanalyzer -tables
+
+# Short fuzzing passes over every parser.
+fuzz:
+	$(GO) test -fuzz=FuzzParse$$ -fuzztime=15s ./internal/ir/
+	$(GO) test -fuzz=FuzzParseTerm -fuzztime=15s ./internal/rewrite/
+	$(GO) test -fuzz=FuzzParseQuery -fuzztime=15s ./internal/rosa/
+	$(GO) test -fuzz=FuzzParseSet -fuzztime=15s ./internal/caps/
+	$(GO) test -fuzz=FuzzParseMode -fuzztime=15s ./internal/vkernel/
+
+clean:
+	$(GO) clean -testcache
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,102 @@
+// Command autopriv runs the AutoPriv static analysis alone on one of the
+// modeled programs (or an IR file) and reports the computed privilege facts:
+// the required initial permitted set, per-function may-raise summaries, the
+// capabilities kept alive by signal handlers, and every inserted
+// priv_remove. With -emit it prints the transformed IR.
+//
+// Usage:
+//
+//	autopriv -program passwd
+//	autopriv -program sshd -emit
+//	autopriv -file prog.pir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"privanalyzer/internal/autopriv"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/programs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("autopriv", flag.ContinueOnError)
+	var (
+		program = fs.String("program", "", "modeled program to analyse ("+fmt.Sprint(programs.Names())+")")
+		file    = fs.String("file", "", "IR text file to analyse instead of a modeled program")
+		emit    = fs.Bool("emit", false, "print the transformed IR")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var m *ir.Module
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autopriv:", err)
+			return 1
+		}
+		m, err = ir.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autopriv:", err)
+			return 1
+		}
+	case *program != "":
+		p, err := programs.ByName(*program)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autopriv:", err)
+			return 1
+		}
+		m = p.Module
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	res, err := autopriv.Analyze(m, autopriv.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopriv:", err)
+		return 1
+	}
+
+	fmt.Printf("module: %s (%d functions, %d instructions)\n", m.Name, len(m.Funcs), m.NumInstrs())
+	fmt.Printf("required permitted set: %s\n", res.RequiredPermitted)
+	fmt.Printf("signal-handler capabilities (never removed): %s\n", res.HandlerCaps)
+
+	fmt.Println("\nper-function may-raise summaries:")
+	names := make([]string, 0, len(res.Summaries))
+	for name := range res.Summaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  @%-20s %s\n", name, res.Summaries[name])
+	}
+
+	if len(res.Diagnostics) > 0 {
+		fmt.Printf("\ndiagnostics (%d):\n", len(res.Diagnostics))
+		for _, d := range res.Diagnostics {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+
+	fmt.Printf("\ninserted priv_remove calls (%d):\n", len(res.Removals))
+	for _, r := range res.Removals {
+		fmt.Printf("  @%s:%s[%d]  remove %s\n", r.Func, r.Block, r.Index, r.Caps)
+	}
+
+	if *emit {
+		fmt.Println("\ntransformed IR:")
+		fmt.Print(res.Module)
+	}
+	return 0
+}

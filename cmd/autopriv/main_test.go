@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), code
+}
+
+func TestRunProgram(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "su"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{
+		"module: su",
+		"required permitted set: CapDacReadSearch,CapSetgid,CapSetuid",
+		"@authenticate",
+		// Four removals: CapDacReadSearch dies both inside authenticate
+		// (after its lower) and at main's call site (a safe no-op), plus
+		// the CapSetgid and CapSetuid drops.
+		"inserted priv_remove calls (4):",
+		"remove CapDacReadSearch",
+		"remove CapSetgid",
+		"remove CapSetuid",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEmit(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "ping", "-emit"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"transformed IR:", "priv_remove", "prctl(1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	src := `module "tiny"
+
+func @main() {
+entry:
+  syscall priv_raise(128)
+  syscall setuid(0)
+  syscall priv_lower(128)
+  ret
+}
+`
+	path := filepath.Join(t.TempDir(), "tiny.pir")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := capture(t, func() int { return run([]string{"-file", path, "-emit"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	// Cap bit 7 (128) is CapSetuid.
+	for _, want := range []string{"required permitted set: CapSetuid", "priv_remove(128)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, code := capture(t, func() int { return run(nil) }); code != 2 {
+		t.Errorf("no input exit = %d, want 2", code)
+	}
+	if _, code := capture(t, func() int { return run([]string{"-file", "/no/such.pir"}) }); code != 1 {
+		t.Errorf("missing file exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), code
+}
+
+func TestRunPasswd(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "passwd"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{
+		"change the invoking user's password",
+		"CapChown,CapDacOverride,CapDacReadSearch,CapFowner,CapSetuid",
+		"41255 (59.15%)",
+		"162 (0.23%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "ping", "-trace"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"syscall trace:", "socket(1)", "priv_raise", "priv_remove"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "EPERM") {
+		t.Errorf("workload run had permission failures:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, code := capture(t, func() int { return run(nil) }); code != 2 {
+		t.Errorf("missing -program exit = %d, want 2", code)
+	}
+	if _, code := capture(t, func() int { return run([]string{"-program", "emacs"}) }); code != 1 {
+		t.Errorf("unknown program exit = %d, want 1", code)
+	}
+}

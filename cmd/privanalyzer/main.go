@@ -1,0 +1,152 @@
+// Command privanalyzer runs the full PrivAnalyzer pipeline — AutoPriv
+// static analysis, ChronoPriv dynamic measurement, and ROSA bounded model
+// checking — over the paper's test programs and prints the evaluation
+// tables.
+//
+// Usage:
+//
+//	privanalyzer -tables                  # Tables I, II and IV (static)
+//	privanalyzer -program passwd          # one program's Table III rows
+//	privanalyzer -program all             # Tables III and V in full
+//	privanalyzer -program su -times       # the Figure 5-11 search costs
+//	privanalyzer -program su -budget 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"privanalyzer/internal/core"
+	"privanalyzer/internal/programs"
+	"privanalyzer/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("privanalyzer", flag.ContinueOnError)
+	var (
+		tables      = fs.Bool("tables", false, "print the static tables (I, II, IV) and exit")
+		program     = fs.String("program", "", `program to analyse (one of `+fmt.Sprint(programs.Names())+`, or "all")`)
+		times       = fs.Bool("times", false, "also print per-query ROSA search costs (Figures 5-11)")
+		chart       = fs.Bool("chart", false, "also print ASCII search-cost charts (Figures 5-11)")
+		budget      = fs.Int("budget", 0, "ROSA per-query state budget (0 = default)")
+		check       = fs.Bool("check", false, "compare results against the paper's table cells")
+		diff        = fs.String("diff", "", `compare two programs' postures, e.g. "su,suRef"`)
+		parallel    = fs.Bool("parallel", false, "run ROSA queries on all CPUs")
+		experiments = fs.Bool("experiments", false, "run the full evaluation and print the paper-vs-measured summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *tables {
+		all, err := programs.All()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			return 1
+		}
+		fmt.Println(report.TableI())
+		fmt.Println(report.TableII(all))
+		var refactored []*programs.Program
+		for _, p := range all {
+			if p.Refactored {
+				refactored = append(refactored, p)
+			}
+		}
+		fmt.Println(report.TableIV(refactored))
+		return 0
+	}
+
+	if *diff != "" {
+		parts := strings.Split(*diff, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "privanalyzer: -diff wants \"before,after\"")
+			return 2
+		}
+		var as [2]*core.Analysis
+		for i, name := range parts {
+			p, err := programs.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+				return 1
+			}
+			a, err := core.Analyze(p, core.Options{MaxStates: *budget, Parallel: *parallel})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+				return 1
+			}
+			as[i] = a
+		}
+		fmt.Print(core.Compare(as[0], as[1]))
+		return 0
+	}
+
+	if *experiments {
+		*program = "all"
+		*check = true
+	}
+	if *program == "" {
+		fs.Usage()
+		return 2
+	}
+
+	names := []string{*program}
+	if *program == "all" {
+		names = programs.Names()
+	}
+
+	var original, refactored []*core.Analysis
+	exitCode := 0
+	for _, name := range names {
+		p, err := programs.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			return 1
+		}
+		a, err := core.Analyze(p, core.Options{MaxStates: *budget, Parallel: *parallel})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			return 1
+		}
+		if p.Refactored {
+			refactored = append(refactored, a)
+		} else {
+			original = append(original, a)
+		}
+		if *check {
+			for _, m := range a.Mismatches() {
+				fmt.Fprintln(os.Stderr, "MISMATCH:", m)
+				exitCode = 1
+			}
+		}
+	}
+	if len(original) > 0 {
+		fmt.Println(report.EfficacyTable("TABLE III: Security Efficacy Results", original))
+	}
+	if len(refactored) > 0 {
+		fmt.Println(report.EfficacyTable("TABLE V: Results for Refactored Programs", refactored))
+	}
+	if *times {
+		for _, a := range append(original, refactored...) {
+			fmt.Println(report.SearchTimes(a))
+		}
+	}
+	if *chart {
+		for _, a := range append(original, refactored...) {
+			fmt.Println(report.FigureChart(a))
+		}
+	}
+	if *experiments {
+		cmp := report.Compare(append(original, refactored...))
+		fmt.Println(cmp)
+		if !cmp.Clean() {
+			exitCode = 1
+		}
+	}
+	return exitCode
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), code
+}
+
+func TestRunTables(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-tables"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"TABLE I", "TABLE II", "TABLE IV", "thttpd", "SIGKILL", "su.c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOneProgramWithCheck(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "ping", "-check", "-times", "-chart"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d (mismatches against the paper?)\n%s", code, out)
+	}
+	for _, want := range []string{
+		"TABLE III", "ping_priv1", "CapNetAdmin,CapNetRaw",
+		"ROSA search cost", "Search cost for ping",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRefactoredGoesToTableV(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "passwdRef", "-check"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "TABLE V") || strings.Contains(out, "TABLE III") {
+		t.Errorf("refactored program should print under Table V only:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, code := capture(t, func() int { return run(nil) }); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if _, code := capture(t, func() int { return run([]string{"-program", "emacs"}) }); code != 1 {
+		t.Errorf("unknown program exit = %d, want 1", code)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-diff", "su,suRef"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	for _, want := range []string{"security posture change: su -> suRef", "improved", "strict improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, code := capture(t, func() int { return run([]string{"-diff", "su"}) }); code != 2 {
+		t.Errorf("malformed -diff exit = %d, want 2", code)
+	}
+}

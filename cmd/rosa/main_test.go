@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), code
+}
+
+func TestRunExample(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-example"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"worked example", "verdict: ✓", "chown", "chmod", "open"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAttackFlags(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{
+			"-attack", "1",
+			"-privs", "CapSetuid",
+			"-uid", "1000,1000,1000",
+			"-gid", "1000,1000,1000",
+			"-syscalls", "open,setuid",
+		})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: ✓") {
+		t.Errorf("expected vulnerable verdict:\n%s", out)
+	}
+
+	out, code = capture(t, func() int {
+		return run([]string{
+			"-attack", "3",
+			"-privs", "",
+			"-syscalls", "socket,bind,connect",
+		})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(out, "verdict: ✗") {
+		t.Errorf("expected safe verdict:\n%s", out)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if _, code := capture(t, func() int { return run([]string{"-privs", "CapBogus"}) }); code != 2 {
+		t.Errorf("bad privs exit = %d, want 2", code)
+	}
+	if _, code := capture(t, func() int { return run([]string{"-uid", "1,2"}) }); code != 2 {
+		t.Errorf("bad uid exit = %d, want 2", code)
+	}
+	if _, code := capture(t, func() int { return run([]string{"-nosuchflag"}) }); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-query", "../../testdata/figure2.rosa"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: ✓") {
+		t.Errorf("expected vulnerable verdict:\n%s", out)
+	}
+	if _, code := capture(t, func() int { return run([]string{"-query", "/no/such.rosa"}) }); code != 1 {
+		t.Errorf("missing query file exit = %d, want 1", code)
+	}
+}
+
+func TestRunMaudeOutput(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-example", "-maude"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"(search in UNIX :", "=>* Z:Configuration", "such that (3 in H:Set{Int})"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunModule(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-module"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"mod UNIX is", "crl [open-r]", "endm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{"-query", "../../testdata/figure2.rosa", "-simulate"})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	for _, want := range []string{"deterministic execution", "chown", "final state:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

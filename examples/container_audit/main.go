@@ -1,0 +1,77 @@
+// Container audit: the paper's motivating deployment (§I) — Docker grants
+// containers a default capability set and lets operators add or drop
+// capabilities. This example audits several container capability profiles
+// with ROSA: for a containerised service with a typical syscall footprint,
+// which of the four modeled privilege-escalation attacks does each profile
+// leave open?
+//
+// Run with: go run ./examples/container_audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privanalyzer/internal/attacks"
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rosa"
+)
+
+// dockerDefault is the subset of Docker's default container capability set
+// that this model knows about.
+func dockerDefault() caps.Set {
+	return caps.NewSet(
+		caps.CapChown, caps.CapDacOverride, caps.CapFowner, caps.CapFsetid,
+		caps.CapKill, caps.CapSetgid, caps.CapSetuid, caps.CapSetpcap,
+		caps.CapNetBindService, caps.CapNetRaw, caps.CapSysChroot,
+		caps.CapMknod, caps.CapAuditWrite, caps.CapSetfcap,
+	)
+}
+
+func main() {
+	// The containerised service's syscall footprint: a network daemon that
+	// also manages files and worker processes.
+	inventory := []string{
+		"open", "chown", "setuid", "setresuid", "setgid", "setresgid",
+		"kill", "socket", "bind", "connect",
+	}
+	// The container's entrypoint runs as an unprivileged service user.
+	creds := rosa.UniformCreds(1000, 1000)
+
+	profiles := []struct {
+		name  string
+		privs caps.Set
+	}{
+		{"docker default", dockerDefault()},
+		{"default minus CAP_SETUID/SETGID", dockerDefault().Drop(caps.CapSetuid).Drop(caps.CapSetgid)},
+		{"default minus DAC/CHOWN/SETUID/SETGID/KILL", dockerDefault().
+			Drop(caps.CapDacOverride).Drop(caps.CapChown).
+			Drop(caps.CapSetuid).Drop(caps.CapSetgid).Drop(caps.CapKill)},
+		{"--cap-drop ALL --cap-add NET_BIND_SERVICE", caps.NewSet(caps.CapNetBindService)},
+		{"--cap-drop ALL", caps.EmptySet},
+	}
+
+	fmt.Println("attack legend (Table I):")
+	for _, id := range attacks.All {
+		fmt.Printf("  %d: %s\n", id, id.Description())
+	}
+	fmt.Println()
+	fmt.Printf("%-45s %s\n", "capability profile", "1 2 3 4")
+	for _, p := range profiles {
+		var row string
+		for _, id := range attacks.All {
+			q := attacks.Build(id, inventory, creds, p.privs)
+			res, err := q.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += res.Verdict.String() + " "
+		}
+		fmt.Printf("%-45s %s\n", p.name, row)
+	}
+
+	fmt.Println("\nthe audit shows why \"drop what you don't need\" matters: the default")
+	fmt.Println("profile leaves every modeled escalation open even for a non-root")
+	fmt.Println("service user, while NET_BIND_SERVICE alone only concedes the port")
+	fmt.Println("masquerade — and that is the one capability a web frontend needs.")
+}

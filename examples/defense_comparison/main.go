@@ -1,0 +1,67 @@
+// Defense comparison: the paper's future-work section (§X) proposes using
+// PrivAnalyzer to compare privilege models and to model weakened attackers.
+// This example does both for the su program's measurement phases:
+//
+//   - Linux capabilities (the paper's baseline attack model),
+//   - Capsicum capability mode (FreeBSD): the process entered capability
+//     mode, cutting off all global namespaces,
+//   - a CFI-constrained attacker: system calls fire only as a subsequence of
+//     su's own dynamic call order (arguments remain attacker-controlled).
+//
+// Run with: go run ./examples/defense_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privanalyzer/internal/attacks"
+	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rosa"
+)
+
+func main() {
+	p, err := programs.Su()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inventory := p.Syscalls()
+	// su's dynamic call order for the CFI model: authentication reads the
+	// shadow file first; the credential switches come last (§VII-C).
+	programOrder := []string{"open", "setegid", "setgid", "setuid", "kill"}
+
+	fmt.Printf("program: %s (%s)\n", p.Name, p.Workload)
+	fmt.Println("verdicts per phase for attack 1 (read /dev/mem):")
+	fmt.Printf("%-12s %-40s %8s %10s %6s\n", "phase", "privileges", "linux", "capsicum", "cfi")
+	for _, ph := range p.Phases {
+		creds := rosa.Creds{
+			RUID: ph.UID[0], EUID: ph.UID[1], SUID: ph.UID[2],
+			RGID: ph.GID[0], EGID: ph.GID[1], SGID: ph.GID[2],
+		}
+		linux, err := attacks.Build(attacks.ReadDevMem, inventory, creds, ph.Privs).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		capsicum, err := attacks.BuildCapsicum(attacks.ReadDevMem, inventory, creds, ph.Privs).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfi, err := attacks.BuildSequenced(attacks.ReadDevMem, programOrder, creds, ph.Privs).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-40s %8s %10s %6s\n",
+			ph.Name, ph.Privs, linux.Verdict, capsicum.Verdict, cfi.Verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println(" - linux: the paper's Table III column — su is exposed whenever")
+	fmt.Println("   CAP_DAC_READ_SEARCH or CAP_SETUID remains in the permitted set;")
+	fmt.Println(" - capsicum: once in capability mode the path namespace is gone, so")
+	fmt.Println("   even the full privilege set cannot reopen /dev/mem — the stronger")
+	fmt.Println("   containment §X hypothesises;")
+	fmt.Println(" - cfi: ordering alone already blocks the setuid-then-open chain in")
+	fmt.Println("   phases where only CAP_SETUID is left, because su's own open")
+	fmt.Println("   happens before its credential switches.")
+}

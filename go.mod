@@ -1,0 +1,3 @@
+module privanalyzer
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package attacks builds the four privilege-escalation attack queries of
+// the paper's Table I as ROSA inputs. Each attack is parameterised by the
+// program's syscall inventory (the attack model only lets an attacker use
+// system calls the program itself uses, §III), the process credentials, and
+// the permitted privilege set of the measurement phase under analysis —
+// every syscall message carries the entire permitted set, modelling an
+// attacker who can raise any permitted privilege with any call (§VII-A).
+//
+// Following §VIII, each attack's input contains only the system calls
+// relevant to it: file-access calls for the /dev/mem attacks, socket calls
+// for the privileged-port attack, and signal/credential calls for the
+// SIGKILL attack. This is what makes attacks 3 and 4 searches small and the
+// /dev/mem searches large, reproducing the paper's performance shape.
+package attacks
+
+import (
+	"fmt"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/rosa"
+	"privanalyzer/internal/vkernel"
+)
+
+// ID identifies one modeled attack.
+type ID uint8
+
+// The four attacks of Table I.
+const (
+	// ReadDevMem: read from /dev/mem to steal application data.
+	ReadDevMem ID = 1
+	// WriteDevMem: write to /dev/mem to corrupt application data.
+	WriteDevMem ID = 2
+	// BindPrivPort: bind to a privileged port to masquerade as a server.
+	BindPrivPort ID = 3
+	// KillServer: send SIGKILL to kill the sshd server.
+	KillServer ID = 4
+)
+
+// All lists the four attacks in table order.
+var All = []ID{ReadDevMem, WriteDevMem, BindPrivPort, KillServer}
+
+// Description returns the Table I description of the attack.
+func (id ID) Description() string {
+	switch id {
+	case ReadDevMem:
+		return "Read from /dev/mem to steal application data"
+	case WriteDevMem:
+		return "Write to /dev/mem to corrupt application data"
+	case BindPrivPort:
+		return "Bind to a privileged port to masquerade as a server"
+	case KillServer:
+		return "Send a SIGKILL signal to kill the sshd server"
+	default:
+		return fmt.Sprintf("attack %d", id)
+	}
+}
+
+// String renders the attack number.
+func (id ID) String() string { return fmt.Sprintf("attack%d", id) }
+
+// Well-known object IDs in the attack environment.
+const (
+	// AttackerPID is the process under analysis.
+	AttackerPID = 1
+	// DevDirID is the /dev directory entry object.
+	DevDirID = 2
+	// DevMemID is the /dev/mem file object.
+	DevMemID = 3
+	// VictimPID is the sshd server process targeted by attack 4.
+	VictimPID = 4
+	// SocketID is the socket the attacker may create in attack 3.
+	SocketID = 10
+)
+
+// Environment constants: the special users and groups of the evaluation
+// system (§VII-B and DESIGN.md's calibration note). /dev/mem is owned by a
+// dedicated device-owner uid with group kmem, so that neither uid 0 nor the
+// ordinary users can pass its DAC check without a capability.
+const (
+	// DevOwnerUID owns /dev/mem (the "mem" special user).
+	DevOwnerUID = 2
+	// KmemGID is the kmem group that may read /dev/mem.
+	KmemGID = 9
+	// ShadowGID is the shadow group of the password database.
+	ShadowGID = 42
+	// SshdUID is the daemon uid of the victim sshd server.
+	SshdUID = 106
+	// EtcUID is the special "etc" user the refactored programs introduce
+	// (§VII-D1).
+	EtcUID = 998
+	// UserUID is the invoking user of the evaluation runs.
+	UserUID = 1000
+	// OtherUID is the second regular user (su's target, scp's peer).
+	OtherUID = 1001
+)
+
+// DefaultUsers are the User objects supplied to ROSA: wildcard uid
+// arguments range over them (§V-B).
+func DefaultUsers() []int { return []int{0, DevOwnerUID, SshdUID, EtcUID, UserUID, OtherUID} }
+
+// DefaultGroups are the Group objects supplied to ROSA.
+func DefaultGroups() []int { return []int{0, KmemGID, ShadowGID, UserUID, OtherUID} }
+
+// relevant lists, per attack, the modeled system calls that can contribute
+// to it (§VIII: "fewer system calls are relevant to attacks 3 and 4").
+var relevant = map[ID]map[string]bool{
+	ReadDevMem: {
+		"open": true, "chmod": true, "fchmod": true, "chown": true, "fchown": true,
+		"unlink": true, "rename": true,
+		"setuid": true, "seteuid": true, "setresuid": true,
+		"setgid": true, "setegid": true, "setresgid": true,
+	},
+	WriteDevMem: {
+		"open": true, "chmod": true, "fchmod": true, "chown": true, "fchown": true,
+		"unlink": true, "rename": true,
+		"setuid": true, "seteuid": true, "setresuid": true,
+		"setgid": true, "setegid": true, "setresgid": true,
+	},
+	BindPrivPort: {
+		"socket": true, "bind": true, "connect": true,
+	},
+	KillServer: {
+		"kill":   true,
+		"setuid": true, "seteuid": true, "setresuid": true,
+		"setgid": true, "setegid": true, "setresgid": true,
+	},
+}
+
+// Build constructs the ROSA query for one attack against a program phase:
+// syscalls is the program's syscall inventory, creds the phase's process
+// credentials, and privs the phase's permitted privilege set. Every message
+// carries privs and fully wildcarded arguments.
+func Build(id ID, syscalls []string, creds rosa.Creds, privs caps.Set) *rosa.Query {
+	objs := []*rewrite.Term{
+		rosa.Process(AttackerPID, creds, nil, nil),
+		rosa.DirEntry(DevDirID, "/dev", vkernel.MustMode("rwxr-xr-x"), 0, 0, DevMemID),
+		rosa.File(DevMemID, "/dev/mem", vkernel.MustMode("rw-r-----"), DevOwnerUID, KmemGID),
+	}
+	if id == KillServer {
+		objs = append(objs, rosa.Process(VictimPID, rosa.UniformCreds(SshdUID, SshdUID), nil, nil))
+	}
+	for _, u := range DefaultUsers() {
+		objs = append(objs, rosa.User(u))
+	}
+	for _, g := range DefaultGroups() {
+		objs = append(objs, rosa.GroupObj(g))
+	}
+
+	var msgs []*rewrite.Term
+	for _, sc := range syscalls {
+		if !relevant[id][sc] {
+			continue
+		}
+		if m := message(id, sc, privs); m != nil {
+			msgs = append(msgs, m)
+		}
+	}
+
+	var goal rewrite.Goal
+	switch id {
+	case ReadDevMem:
+		goal = rosa.GoalFileInReadSet(DevMemID)
+	case WriteDevMem:
+		goal = rosa.GoalFileInWriteSet(DevMemID)
+	case BindPrivPort:
+		goal = rosa.GoalPortBoundBelow(1024)
+	case KillServer:
+		goal = rosa.GoalProcessTerminated(VictimPID)
+	}
+
+	return &rosa.Query{Objects: objs, Messages: msgs, Goal: goal}
+}
+
+// message builds the fully-wildcarded single-use message for one syscall.
+func message(id ID, sc string, privs caps.Set) *rewrite.Term {
+	const pid = AttackerPID
+	allPerms := vkernel.MustMode("rwxrwxrwx")
+	switch sc {
+	case "open":
+		mode := rosa.OpenRead
+		if id == WriteDevMem {
+			mode = rosa.OpenWrite
+		}
+		return rosa.OpenMsg(pid, rosa.Wild, mode, privs)
+	case "chmod":
+		// An attacker turns on all permission bits; the arguments to
+		// chmod do not affect which privileges it needs (§V-B).
+		return rosa.ChmodMsg(pid, rosa.Wild, allPerms, privs)
+	case "fchmod":
+		return rosa.FchmodMsg(pid, rosa.Wild, allPerms, privs)
+	case "chown":
+		return rosa.ChownMsg(pid, rosa.Wild, rosa.Wild, rosa.Wild, privs)
+	case "fchown":
+		return rosa.FchownMsg(pid, rosa.Wild, rosa.Wild, rosa.Wild, privs)
+	case "unlink":
+		return rosa.UnlinkMsg(pid, rosa.Wild, privs)
+	case "rename":
+		return rosa.RenameMsg(pid, rosa.Wild, DevMemID, privs)
+	case "setuid":
+		return rosa.SetuidMsg(pid, rosa.Wild, privs)
+	case "seteuid":
+		return rosa.SeteuidMsg(pid, rosa.Wild, privs)
+	case "setresuid":
+		return rosa.SetresuidMsg(pid, rosa.Wild, rosa.Wild, rosa.Wild, privs)
+	case "setgid":
+		return rosa.SetgidMsg(pid, rosa.Wild, privs)
+	case "setegid":
+		return rosa.SetegidMsg(pid, rosa.Wild, privs)
+	case "setresgid":
+		return rosa.SetresgidMsg(pid, rosa.Wild, rosa.Wild, rosa.Wild, privs)
+	case "kill":
+		return rosa.KillMsg(pid, rosa.Wild, 9, privs)
+	case "socket":
+		return rosa.SocketMsg(pid, SocketID, privs)
+	case "bind":
+		return rosa.BindMsg(pid, SocketID, 22, privs)
+	case "connect":
+		return rosa.ConnectMsg(pid, SocketID, 22, privs)
+	default:
+		return nil
+	}
+}
+
+// BuildCapsicum builds the attack query for a program that has entered
+// Capsicum capability mode (§X future work: comparing privilege models).
+// The attacker holds the same privileges and syscall inventory, but every
+// global-namespace syscall is denied by capability mode; only
+// descriptor-based operations remain.
+func BuildCapsicum(id ID, syscalls []string, creds rosa.Creds, privs caps.Set) *rosa.Query {
+	q := Build(id, syscalls, creds, privs)
+	q.Objects = append(q.Objects, rosa.CapModeObj(AttackerPID))
+	q.Extended = true
+	return q
+}
+
+// BuildSequenced builds the attack query for a CFI-weakened attacker (§X
+// future work: modeling defenses): the syscalls fire as a subsequence of
+// the given program order, with arguments still attacker-controlled. The
+// syscalls slice must be in the program's dynamic call order.
+func BuildSequenced(id ID, syscalls []string, creds rosa.Creds, privs caps.Set) *rosa.Query {
+	q := Build(id, nil, creds, privs)
+	q.Objects = append(q.Objects, rosa.Fence(0))
+	n := 0
+	for _, sc := range syscalls {
+		if !relevant[id][sc] {
+			continue
+		}
+		if m := message(id, sc, privs); m != nil {
+			q.Messages = append(q.Messages, rosa.SeqMsg(n, m))
+			n++
+		}
+	}
+	q.Extended = true
+	return q
+}

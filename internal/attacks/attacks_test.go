@@ -1,0 +1,240 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rosa"
+)
+
+// verdict runs one attack and returns the ROSA verdict.
+func verdict(t *testing.T, id ID, syscalls []string, creds rosa.Creds, privs caps.Set) rosa.Verdict {
+	t.Helper()
+	q := Build(id, syscalls, creds, privs)
+	res, err := q.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res.Verdict
+}
+
+func TestDescriptions(t *testing.T) {
+	for _, id := range All {
+		if d := id.Description(); d == "" || strings.HasPrefix(d, "attack") {
+			t.Errorf("%s description = %q", id, d)
+		}
+	}
+	if ID(9).Description() != "attack 9" {
+		t.Error("unknown attack description")
+	}
+}
+
+func TestRelevanceFilter(t *testing.T) {
+	inv := []string{"open", "chown", "socket", "bind", "connect", "kill", "setuid"}
+	q1 := Build(ReadDevMem, inv, rosa.UniformCreds(1000, 1000), caps.EmptySet)
+	for _, m := range q1.Messages {
+		if m.Sym == "socket" || m.Sym == "bind" || m.Sym == "kill" {
+			t.Errorf("attack 1 config contains irrelevant syscall %s", m.Sym)
+		}
+	}
+	q3 := Build(BindPrivPort, inv, rosa.UniformCreds(1000, 1000), caps.EmptySet)
+	if len(q3.Messages) != 3 {
+		t.Errorf("attack 3 messages = %d, want 3 (socket, bind, connect)", len(q3.Messages))
+	}
+	q4 := Build(KillServer, inv, rosa.UniformCreds(1000, 1000), caps.EmptySet)
+	for _, m := range q4.Messages {
+		if m.Sym == "open" || m.Sym == "chown" {
+			t.Errorf("attack 4 config contains irrelevant syscall %s", m.Sym)
+		}
+	}
+}
+
+func TestVictimOnlyInAttack4(t *testing.T) {
+	inv := []string{"kill", "setuid"}
+	q4 := Build(KillServer, inv, rosa.UniformCreds(1000, 1000), caps.EmptySet)
+	q1 := Build(ReadDevMem, inv, rosa.UniformCreds(1000, 1000), caps.EmptySet)
+	count := func(q *rosa.Query) int {
+		n := 0
+		for _, o := range q.Objects {
+			if o.Sym == "Process" {
+				n++
+			}
+		}
+		return n
+	}
+	if count(q4) != 2 {
+		t.Errorf("attack 4 processes = %d, want 2", count(q4))
+	}
+	if count(q1) != 1 {
+		t.Errorf("attack 1 processes = %d, want 1", count(q1))
+	}
+}
+
+// The canonical capability → attack outcomes from the calibration analysis
+// in DESIGN.md, spot-checking one representative per mechanism.
+func TestAttackOutcomesByCapability(t *testing.T) {
+	fileSyscalls := []string{"open", "chown", "setuid", "seteuid", "setresuid", "setgid", "setegid", "setresgid", "unlink", "rename"}
+	user := rosa.UniformCreds(UserUID, UserUID)
+	root := rosa.UniformCreds(0, 0)
+
+	tests := []struct {
+		name  string
+		id    ID
+		inv   []string
+		creds rosa.Creds
+		privs caps.Set
+		want  rosa.Verdict
+	}{
+		{"dac_read_search reads", ReadDevMem, fileSyscalls, user, caps.NewSet(caps.CapDacReadSearch), rosa.Vulnerable},
+		{"dac_read_search cannot write", WriteDevMem, fileSyscalls, user, caps.NewSet(caps.CapDacReadSearch), rosa.Safe},
+		{"dac_override writes", WriteDevMem, fileSyscalls, user, caps.NewSet(caps.CapDacOverride), rosa.Vulnerable},
+		{"setuid becomes owner", WriteDevMem, fileSyscalls, user, caps.NewSet(caps.CapSetuid), rosa.Vulnerable},
+		{"setgid joins kmem reads", ReadDevMem, fileSyscalls, user, caps.NewSet(caps.CapSetgid), rosa.Vulnerable},
+		{"setgid cannot write", WriteDevMem, fileSyscalls, user, caps.NewSet(caps.CapSetgid), rosa.Safe},
+		{"chown takes ownership", WriteDevMem, fileSyscalls, user, caps.NewSet(caps.CapChown), rosa.Vulnerable},
+		{"uid0 empty set denied", ReadDevMem, fileSyscalls, root, caps.EmptySet, rosa.Safe},
+		{"user empty set denied", WriteDevMem, fileSyscalls, user, caps.EmptySet, rosa.Safe},
+		{"fowner alone insufficient", ReadDevMem, fileSyscalls, user, caps.NewSet(caps.CapFowner), rosa.Safe},
+		{"bind with cap", BindPrivPort, []string{"socket", "bind", "connect"}, user, caps.NewSet(caps.CapNetBindService), rosa.Vulnerable},
+		{"bind without cap", BindPrivPort, []string{"socket", "bind", "connect"}, user, caps.FullSet().Drop(caps.CapNetBindService), rosa.Safe},
+		{"bind without socket syscalls", BindPrivPort, fileSyscalls, user, caps.FullSet(), rosa.Safe},
+		{"kill with cap_kill", KillServer, []string{"kill"}, user, caps.NewSet(caps.CapKill), rosa.Vulnerable},
+		{"kill via setuid", KillServer, []string{"kill", "setuid"}, user, caps.NewSet(caps.CapSetuid), rosa.Vulnerable},
+		{"kill denied", KillServer, []string{"kill", "setgid"}, user, caps.NewSet(caps.CapSetgid), rosa.Safe},
+		{"kill without kill syscall", KillServer, []string{"setuid"}, user, caps.FullSet(), rosa.Safe},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := verdict(t, tt.id, tt.inv, tt.creds, tt.privs); got != tt.want {
+				t.Errorf("verdict = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRefactoredTrick(t *testing.T) {
+	// §VII-D: with the saved uid pre-set to a target user and no privileges
+	// at all, an attacker can swap the effective uid among {r,e,s} — but
+	// none of those own /dev/mem, so the attack still fails. The etc-user
+	// design keeps /dev/mem out of reach.
+	creds := rosa.Creds{
+		RUID: UserUID, EUID: EtcUID, SUID: OtherUID,
+		RGID: UserUID, EGID: EtcUID, SGID: OtherUID,
+	}
+	inv := []string{"open", "setresuid", "setresgid"}
+	if got := verdict(t, ReadDevMem, inv, creds, caps.EmptySet); got != rosa.Safe {
+		t.Errorf("verdict = %s, want ✗", got)
+	}
+}
+
+func TestAttack1SlowerThanAttack4(t *testing.T) {
+	// §VIII: the /dev/mem attacks involve more relevant syscalls and
+	// UID/GID combinations than the signal attack, giving ROSA a larger
+	// space. Compare explored states on a failing configuration.
+	inv := []string{"open", "chown", "setuid", "setresuid", "setgid", "setresgid", "kill"}
+	creds := rosa.UniformCreds(UserUID, UserUID)
+	privs := caps.EmptySet // both attacks must fail so both searches exhaust
+	q1 := Build(ReadDevMem, inv, creds, privs)
+	r1, err := q1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4 := Build(KillServer, inv, creds, privs)
+	r4, err := q4.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Verdict != rosa.Safe || r4.Verdict != rosa.Safe {
+		t.Fatalf("verdicts = %s/%s, want ✗/✗", r1.Verdict, r4.Verdict)
+	}
+	if r1.StatesExplored <= r4.StatesExplored {
+		t.Errorf("attack1 explored %d, attack4 %d; want attack1 > attack4",
+			r1.StatesExplored, r4.StatesExplored)
+	}
+}
+
+func TestGroundExpandsWildcards(t *testing.T) {
+	inv := []string{"setuid", "open"}
+	q := Build(ReadDevMem, inv, rosa.UniformCreds(UserUID, UserUID), caps.NewSet(caps.CapSetuid))
+	g := Ground(q)
+	// setuid(wild) expands to one message per user; open(wild) to one per
+	// file/dir object (the /dev entry and /dev/mem).
+	want := len(DefaultUsers()) + 2
+	if len(g.Messages) != want {
+		t.Fatalf("grounded messages = %d, want %d", len(g.Messages), want)
+	}
+	for _, m := range g.Messages {
+		for _, a := range m.Args {
+			if a.IsInt() && a.IntVal == rosa.Wild {
+				t.Errorf("wildcard survived grounding in %s", m)
+			}
+		}
+	}
+	// The grounded query still finds the attack.
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != rosa.Vulnerable {
+		t.Errorf("grounded verdict = %s, want ✓", res.Verdict)
+	}
+}
+
+func TestBuildCapsicum(t *testing.T) {
+	inv := []string{"open", "chown", "setuid", "setgid", "kill", "socket", "bind", "connect"}
+	creds := rosa.UniformCreds(UserUID, UserUID)
+	// Under Linux capabilities alone, the full set leaves every attack open;
+	// in Capsicum capability mode, all four are closed — the §X comparison.
+	for _, id := range All {
+		plain := Build(id, inv, creds, caps.FullSet())
+		capm := BuildCapsicum(id, inv, creds, caps.FullSet())
+		rp, err := plain.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := capm.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Verdict != rosa.Vulnerable {
+			t.Errorf("%s plain verdict = %s, want ✓", id, rp.Verdict)
+		}
+		if rc.Verdict != rosa.Safe {
+			t.Errorf("%s capsicum verdict = %s, want ✗", id, rc.Verdict)
+		}
+	}
+}
+
+func TestBuildSequenced(t *testing.T) {
+	creds := rosa.UniformCreds(UserUID, UserUID)
+	privs := caps.NewSet(caps.CapSetuid)
+	// Program order: the only open precedes the only setuid, so the
+	// CFI-weakened attacker cannot first become the /dev/mem owner.
+	seq := BuildSequenced(ReadDevMem, []string{"open", "setuid"}, creds, privs)
+	res, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != rosa.Safe {
+		t.Errorf("sequenced open-then-setuid = %s, want ✗", res.Verdict)
+	}
+	// The unconstrained attacker reorders and wins.
+	free := Build(ReadDevMem, []string{"open", "setuid"}, creds, privs)
+	rf, err := free.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Verdict != rosa.Vulnerable {
+		t.Errorf("free attacker = %s, want ✓", rf.Verdict)
+	}
+	// With the program order reversed, CFI no longer helps.
+	seq2 := BuildSequenced(ReadDevMem, []string{"setuid", "open"}, creds, privs)
+	r2, err := seq2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Verdict != rosa.Vulnerable {
+		t.Errorf("sequenced setuid-then-open = %s, want ✓", r2.Verdict)
+	}
+}

@@ -1,0 +1,140 @@
+package attacks
+
+import (
+	"math/rand"
+	"testing"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rosa"
+)
+
+// relevantCaps are the capabilities that can influence the modeled attacks;
+// random subsets are drawn from these so the property tests explore
+// meaningful space.
+var relevantCaps = []caps.Cap{
+	caps.CapChown, caps.CapDacOverride, caps.CapDacReadSearch, caps.CapFowner,
+	caps.CapKill, caps.CapSetgid, caps.CapSetuid, caps.CapNetBindService,
+}
+
+func randomSet(r *rand.Rand) caps.Set {
+	var s caps.Set
+	for _, c := range relevantCaps {
+		if r.Intn(2) == 1 {
+			s = s.Add(c)
+		}
+	}
+	return s
+}
+
+// boundedRun executes a query with a test-sized state budget; Unknown
+// verdicts make a trial inconclusive rather than slow.
+func boundedRun(t *testing.T, q *rosa.Query) *rosa.Result {
+	t.Helper()
+	q.MaxStates = 30_000
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func randomCreds(r *rand.Rand) rosa.Creds {
+	uids := []int{0, 2, 106, 998, 1000, 1001}
+	pick := func() int { return uids[r.Intn(len(uids))] }
+	return rosa.Creds{
+		RUID: pick(), EUID: pick(), SUID: pick(),
+		RGID: pick(), EGID: pick(), SGID: pick(),
+	}
+}
+
+// TestPrivilegeMonotonicity: adding a capability to the attacker's set can
+// never turn a vulnerable configuration safe. This is the core soundness
+// property of the attack model: privileges only add power.
+func TestPrivilegeMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	inv := []string{"open", "chown", "setuid", "setresuid", "setgid", "kill", "socket", "bind"}
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		id := All[r.Intn(len(All))]
+		creds := randomCreds(r)
+		base := randomSet(r)
+		extra := base.Add(relevantCaps[r.Intn(len(relevantCaps))])
+
+		rb := boundedRun(t, Build(id, inv, creds, base))
+		if rb.Verdict != rosa.Vulnerable {
+			continue
+		}
+		re := boundedRun(t, Build(id, inv, creds, extra))
+		if re.Verdict != rosa.Vulnerable && re.Verdict != rosa.Unknown {
+			t.Errorf("trial %d: %s with %s vulnerable but with superset %s = %s",
+				i, id, base, extra, re.Verdict)
+		}
+	}
+}
+
+// TestSyscallMonotonicity: a larger syscall inventory can never turn a
+// vulnerable configuration safe.
+func TestSyscallMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	full := []string{"open", "chown", "chmod", "setuid", "seteuid", "setresuid", "setgid", "setegid", "setresgid", "kill", "socket", "bind", "connect", "unlink", "rename"}
+	const trials = 25
+	for i := 0; i < trials; i++ {
+		id := All[r.Intn(len(All))]
+		creds := randomCreds(r)
+		privs := randomSet(r)
+		// Random subset of the inventory.
+		var sub []string
+		for _, s := range full {
+			if r.Intn(2) == 1 {
+				sub = append(sub, s)
+			}
+		}
+		rs := boundedRun(t, Build(id, sub, creds, privs))
+		if rs.Verdict != rosa.Vulnerable {
+			continue
+		}
+		rf := boundedRun(t, Build(id, full, creds, privs))
+		if rf.Verdict != rosa.Vulnerable && rf.Verdict != rosa.Unknown {
+			t.Errorf("trial %d: %s vulnerable with inventory %v but safe with full inventory", i, id, sub)
+		}
+	}
+}
+
+// TestVerdictDeterminism: the search is fully deterministic — same query,
+// same verdict, same states explored, same witness length.
+func TestVerdictDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	inv := []string{"open", "chown", "setuid", "setgid", "kill"}
+	for i := 0; i < 10; i++ {
+		id := All[r.Intn(len(All))]
+		creds := randomCreds(r)
+		privs := randomSet(r)
+		a := boundedRun(t, Build(id, inv, creds, privs))
+		b := boundedRun(t, Build(id, inv, creds, privs))
+		if a.Verdict != b.Verdict || a.StatesExplored != b.StatesExplored || len(a.Witness) != len(b.Witness) {
+			t.Errorf("nondeterministic: %s/%d/%d vs %s/%d/%d",
+				a.Verdict, a.StatesExplored, len(a.Witness),
+				b.Verdict, b.StatesExplored, len(b.Witness))
+		}
+	}
+}
+
+// TestCapsicumDominatesLinux: for every configuration, the Capsicum verdict
+// is at least as safe as the Linux verdict — capability mode only removes
+// attacker options.
+func TestCapsicumDominatesLinux(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	inv := []string{"open", "chown", "setuid", "setgid", "kill", "socket", "bind"}
+	for i := 0; i < 20; i++ {
+		id := All[r.Intn(len(All))]
+		creds := randomCreds(r)
+		privs := randomSet(r)
+		lc := boundedRun(t, BuildCapsicum(id, inv, creds, privs))
+		if lc.Verdict == rosa.Vulnerable {
+			ll := boundedRun(t, Build(id, inv, creds, privs))
+			if ll.Verdict != rosa.Vulnerable && ll.Verdict != rosa.Unknown {
+				t.Errorf("trial %d: capsicum vulnerable but plain linux %s", i, ll.Verdict)
+			}
+		}
+	}
+}

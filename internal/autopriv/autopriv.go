@@ -1,0 +1,378 @@
+// Package autopriv reimplements the AutoPriv compiler analysis the paper
+// builds on (Hu et al., SecDev'18): a whole-program static analysis that
+// determines, for every program point, which privileges are dead — i.e. can
+// never be raised again on any path — and a transformation that inserts
+// priv_remove calls at the earliest such points, permanently dropping dead
+// privileges from the permitted set.
+//
+// The analysis is a backward may-analysis over the capability-set lattice:
+// a capability is live at a point if some path from that point reaches a
+// priv_raise of it. Interprocedural effects flow through call-site summaries
+// computed over the call graph, with indirect calls over-approximated
+// type-based by default (the imprecision §VII-C blames for sshd's retained
+// privileges). Capabilities raised by registered signal handlers are never
+// removed while the program runs, because a handler can fire at any time.
+//
+// The transform additionally prepends the prctl(SECBIT_NO_SETUID_FIXUP) call
+// the paper's compiler inserts (§VII-B), disabling the kernel's legacy
+// uid-zero capability fixups.
+package autopriv
+
+import (
+	"fmt"
+	"sort"
+
+	"privanalyzer/internal/callgraph"
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/cfg"
+	"privanalyzer/internal/dataflow"
+	"privanalyzer/internal/ir"
+)
+
+// Wrapper syscall names recognised by the analysis, from the AutoPriv
+// runtime library.
+const (
+	// SyscallRaise is the priv_raise wrapper: enable capabilities in the
+	// effective set.
+	SyscallRaise = "priv_raise"
+	// SyscallLower is the priv_lower wrapper: disable capabilities in the
+	// effective set.
+	SyscallLower = "priv_lower"
+	// SyscallRemove is the priv_remove wrapper: disable capabilities in
+	// both the effective and permitted sets, permanently.
+	SyscallRemove = "priv_remove"
+	// SyscallPrctl is the prctl call the transform prepends to main.
+	SyscallPrctl = "prctl"
+
+	// PrctlNoSetuidFixup is the prctl argument selecting
+	// SECBIT_NO_SETUID_FIXUP.
+	PrctlNoSetuidFixup = 1
+)
+
+// Options configures the analysis.
+type Options struct {
+	// CallGraph configures indirect-call resolution; the zero value uses
+	// AutoPriv's conservative type-based approximation.
+	CallGraph callgraph.Options
+	// SkipPrctl, when set, suppresses insertion of the
+	// prctl(SECBIT_NO_SETUID_FIXUP) prologue.
+	SkipPrctl bool
+}
+
+// Removal records one inserted priv_remove: the capabilities dropped and the
+// location (function, block, and the instruction index in the *transformed*
+// block before which the remove was placed).
+type Removal struct {
+	Func  string
+	Block string
+	Index int
+	Caps  caps.Set
+}
+
+// Result is the output of Analyze: the transformed module plus the analysis
+// facts PrivAnalyzer's later stages and the reports consume.
+type Result struct {
+	// Module is the transformed copy of the input (the input is not
+	// modified).
+	Module *ir.Module
+	// RequiredPermitted is the smallest permitted set the program must
+	// start with: every capability some execution may raise.
+	RequiredPermitted caps.Set
+	// HandlerCaps is the union of capabilities raised (transitively) by
+	// registered signal handlers; these stay live for the whole execution.
+	HandlerCaps caps.Set
+	// Summaries maps each function to its transitive may-raise set.
+	Summaries map[string]caps.Set
+	// LiveOut maps each function to the capabilities live at its return
+	// points (joined over all call sites).
+	LiveOut map[string]caps.Set
+	// Removals lists every inserted priv_remove in deterministic order.
+	Removals []Removal
+	// Diagnostics lists privilege-use bugs found in the input (see
+	// Diagnose): raises that every path has already removed, and
+	// priv_remove calls present before the transform ran.
+	Diagnostics []string
+}
+
+// Analyze runs the AutoPriv analysis and transformation on m and returns the
+// result. The input module must verify; the transformed module verifies too.
+func Analyze(m *ir.Module, opts Options) (*Result, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("autopriv: %w", err)
+	}
+	out := m.Clone()
+	cg := callgraph.Build(out, opts.CallGraph)
+
+	res := &Result{
+		Module:    out,
+		Summaries: summaries(out, cg),
+		LiveOut:   make(map[string]caps.Set, len(out.Funcs)),
+	}
+
+	for _, h := range out.SignalHandlers {
+		res.HandlerCaps = res.HandlerCaps.Union(res.Summaries[h])
+	}
+
+	handlers := make(map[string]bool, len(out.SignalHandlers))
+	for _, h := range out.SignalHandlers {
+		handlers[h] = true
+		// A handler may be interrupted and re-entered at any time; never
+		// treat anything as dead inside it.
+		res.LiveOut[h] = caps.FullSet()
+	}
+
+	graphs := make(map[string]*cfg.Graph, len(out.Funcs))
+	for _, fn := range out.Funcs {
+		graphs[fn.Name] = cfg.New(fn)
+	}
+
+	// Interprocedural fixpoint: propagate liveness after each call site into
+	// the callee's exit liveness.
+	live := make(map[string]dataflow.Result[caps.Set], len(out.Funcs))
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range out.Funcs {
+			g := graphs[fn.Name]
+			r := solveLiveness(g, res, cg, res.LiveOut[fn.Name])
+			live[fn.Name] = r
+			for _, blk := range fn.Blocks {
+				after := instrLiveness(blk, r.Out[blk], res, cg)
+				for i, in := range blk.Instrs {
+					for _, callee := range calleesOf(in, cg, fn.Name) {
+						if handlers[callee] {
+							continue
+						}
+						upd := res.LiveOut[callee].Union(after[i+1])
+						if upd != res.LiveOut[callee] {
+							res.LiveOut[callee] = upd
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if main := out.Main(); main != nil {
+		entry := main.Entry()
+		res.RequiredPermitted = live["main"].In[entry].Union(res.HandlerCaps)
+	}
+
+	transform(out, graphs, live, res, cg, handlers, opts)
+
+	if err := out.Verify(); err != nil {
+		return nil, fmt.Errorf("autopriv: transformed module invalid: %w", err)
+	}
+	res.Diagnostics = Diagnose(m, true)
+	// Self-check: on a clean input the transform must never introduce a
+	// raise-after-remove (a pre-existing input bug is reported in
+	// Diagnostics instead, and would trip this check spuriously).
+	if len(Diagnose(m, false)) == 0 {
+		if bad := Diagnose(out, false); len(bad) > 0 {
+			return nil, fmt.Errorf("autopriv: transform introduced a raise-after-remove: %v", bad)
+		}
+	}
+	return res, nil
+}
+
+// summaries computes each function's transitive may-raise capability set by
+// iterating over the call graph to a fixed point.
+func summaries(m *ir.Module, cg *callgraph.Graph) map[string]caps.Set {
+	direct := make(map[string]caps.Set, len(m.Funcs))
+	for _, fn := range m.Funcs {
+		var s caps.Set
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				sys, ok := in.(*ir.SyscallInstr)
+				if ok && (sys.Name == SyscallRaise || sys.Name == SyscallLower) && len(sys.Args) == 1 {
+					s = s.Union(caps.Set(sys.Args[0].Imm))
+				}
+			}
+		}
+		direct[fn.Name] = s
+	}
+	total := make(map[string]caps.Set, len(direct))
+	for name, s := range direct {
+		total[name] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range m.Funcs {
+			s := total[fn.Name]
+			for _, callee := range cg.Callees(fn.Name) {
+				s = s.Union(total[callee])
+			}
+			if s != total[fn.Name] {
+				total[fn.Name] = s
+				changed = true
+			}
+		}
+	}
+	return total
+}
+
+// calleesOf returns the possible callees of one instruction.
+func calleesOf(in ir.Instr, cg *callgraph.Graph, caller string) []string {
+	switch in := in.(type) {
+	case *ir.CallInstr:
+		return []string{in.Callee}
+	case *ir.CallIndInstr:
+		if in.Fp.Kind == ir.FuncRef {
+			return []string{in.Fp.Fn}
+		}
+		// All call-graph callees of the caller that are indirect candidates:
+		// conservatively, every callee. Direct callees are a superset, which
+		// only adds precision loss, matching AutoPriv's conservatism.
+		return cg.Callees(caller)
+	default:
+		return nil
+	}
+}
+
+// instrTransfer computes liveness before an instruction from liveness after
+// it.
+func instrTransfer(in ir.Instr, after caps.Set, res *Result, cg *callgraph.Graph, caller string) caps.Set {
+	switch in := in.(type) {
+	case *ir.SyscallInstr:
+		// Both the raise and the matching lower are uses: a capability must
+		// stay in the permitted set for the whole raised window, so the
+		// earliest legal removal point is immediately after the last lower.
+		if (in.Name == SyscallRaise || in.Name == SyscallLower) && len(in.Args) == 1 {
+			return after.Union(caps.Set(in.Args[0].Imm))
+		}
+		return after
+	case *ir.CallInstr, *ir.CallIndInstr:
+		s := after
+		for _, callee := range calleesOf(in, cg, caller) {
+			s = s.Union(res.Summaries[callee])
+		}
+		return s
+	default:
+		return after
+	}
+}
+
+// instrLiveness returns the live set at every program point of a block:
+// point i is before instruction i, point len(Instrs) is after the
+// terminator (= liveOut).
+func instrLiveness(blk *ir.Block, liveOut caps.Set, res *Result, cg *callgraph.Graph) []caps.Set {
+	points := make([]caps.Set, len(blk.Instrs)+1)
+	points[len(blk.Instrs)] = liveOut
+	for i := len(blk.Instrs) - 1; i >= 0; i-- {
+		points[i] = instrTransfer(blk.Instrs[i], points[i+1], res, cg, blk.Fn.Name)
+	}
+	return points
+}
+
+// solveLiveness runs the backward block-level liveness analysis for one
+// function with the given exit-liveness boundary.
+func solveLiveness(g *cfg.Graph, res *Result, cg *callgraph.Graph, boundary caps.Set) dataflow.Result[caps.Set] {
+	return dataflow.Solve(g, dataflow.Problem[caps.Set]{
+		Direction: dataflow.Backward,
+		Join:      caps.Set.Union,
+		Boundary:  boundary,
+		Transfer: func(b *ir.Block, out caps.Set) caps.Set {
+			return instrLiveness(b, out, res, cg)[0]
+		},
+	})
+}
+
+// insertion is one pending priv_remove splice: the instruction index in the
+// original block before which the remove goes, and the set it drops.
+type insertion struct {
+	idx int
+	set caps.Set
+}
+
+// transform inserts priv_remove calls at live→dead transitions and the prctl
+// prologue into main.
+func transform(m *ir.Module, graphs map[string]*cfg.Graph, live map[string]dataflow.Result[caps.Set], res *Result, cg *callgraph.Graph, handlers map[string]bool, opts Options) {
+	protected := res.HandlerCaps
+
+	for _, fn := range m.Funcs {
+		if handlers[fn.Name] {
+			continue // never shrink the permitted set inside a handler
+		}
+		g := graphs[fn.Name]
+		r := live[fn.Name]
+		reach := g.Reachable()
+		for _, blk := range fn.Blocks {
+			if !reach[blk] {
+				continue
+			}
+			var ins []insertion
+
+			points := instrLiveness(blk, r.Out[blk], res, cg)
+
+			// Caps live at the end of some predecessor but dead on entry
+			// to this block die on the incoming edges; drop them first
+			// thing in the block.
+			var predLive caps.Set
+			for _, p := range g.Preds(blk) {
+				predLive = predLive.Union(r.Out[p])
+			}
+			if len(g.Preds(blk)) > 0 {
+				if dead := predLive.Minus(points[0]).Minus(protected); !dead.IsEmpty() {
+					ins = append(ins, insertion{idx: 0, set: dead})
+				}
+			}
+			// Intra-block transitions: a cap live before instruction i but
+			// dead after it was last usable at i; drop it immediately after.
+			for i := range blk.Instrs {
+				if dead := points[i].Minus(points[i+1]).Minus(protected); !dead.IsEmpty() {
+					ins = append(ins, insertion{idx: i + 1, set: dead})
+				}
+			}
+			applyInsertions(blk, ins, fn.Name, res)
+		}
+	}
+
+	if main := m.Main(); main != nil && !opts.SkipPrctl {
+		entry := main.Entry()
+		prctl := &ir.SyscallInstr{Name: SyscallPrctl, Args: []ir.Value{ir.I(PrctlNoSetuidFixup)}}
+		entry.Instrs = append([]ir.Instr{prctl}, entry.Instrs...)
+		// Shift removal indices recorded in the entry block.
+		for i := range res.Removals {
+			if res.Removals[i].Func == main.Name && res.Removals[i].Block == entry.Name {
+				res.Removals[i].Index++
+			}
+		}
+	}
+
+	sort.Slice(res.Removals, func(i, j int) bool {
+		a, b := res.Removals[i], res.Removals[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Index < b.Index
+	})
+}
+
+// applyInsertions splices priv_remove instructions into blk at the given
+// indices (relative to the original instruction slice) and records them.
+func applyInsertions(blk *ir.Block, ins []insertion, fnName string, res *Result) {
+	if len(ins) == 0 {
+		return
+	}
+	out := make([]ir.Instr, 0, len(blk.Instrs)+len(ins))
+	k := 0
+	for i := 0; i <= len(blk.Instrs); i++ {
+		for k < len(ins) && ins[k].idx == i {
+			res.Removals = append(res.Removals, Removal{
+				Func: fnName, Block: blk.Name, Index: len(out), Caps: ins[k].set,
+			})
+			out = append(out, &ir.SyscallInstr{
+				Name: SyscallRemove,
+				Args: []ir.Value{ir.I(int64(ins[k].set))},
+			})
+			k++
+		}
+		if i < len(blk.Instrs) {
+			out = append(out, blk.Instrs[i])
+		}
+	}
+	blk.Instrs = out
+}

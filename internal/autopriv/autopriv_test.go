@@ -1,0 +1,508 @@
+package autopriv
+
+import (
+	"strings"
+	"testing"
+
+	"privanalyzer/internal/callgraph"
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+)
+
+// removesIn collects the capability sets of priv_remove instructions in a
+// block, keyed by position.
+func removesIn(blk *ir.Block) []caps.Set {
+	var out []caps.Set
+	for _, in := range blk.Instrs {
+		if sys, ok := in.(*ir.SyscallInstr); ok && sys.Name == SyscallRemove {
+			out = append(out, caps.Set(sys.Args[0].Imm))
+		}
+	}
+	return out
+}
+
+func allRemoved(m *ir.Module) caps.Set {
+	var s caps.Set
+	for _, fn := range m.Funcs {
+		for _, blk := range fn.Blocks {
+			for _, r := range removesIn(blk) {
+				s = s.Union(r)
+			}
+		}
+	}
+	return s
+}
+
+func TestStraightLineRemoveAfterLastRaise(t *testing.T) {
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").
+		Raise(setuid).
+		Syscall("setuid", ir.I(0)).
+		Lower(setuid).
+		Compute(5).
+		Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequiredPermitted != setuid {
+		t.Errorf("RequiredPermitted = %s, want %s", res.RequiredPermitted, setuid)
+	}
+	if len(res.Removals) != 1 {
+		t.Fatalf("Removals = %+v, want exactly 1", res.Removals)
+	}
+	r := res.Removals[0]
+	if r.Caps != setuid {
+		t.Errorf("removed %s, want %s", r.Caps, setuid)
+	}
+	// The remove must appear immediately after the lower that closes the
+	// raised window: removing any earlier would strip the effective
+	// capability out from under the setuid call.
+	entry := res.Module.Main().Entry()
+	var lowerIdx, removeIdx int
+	for i, in := range entry.Instrs {
+		if sys, ok := in.(*ir.SyscallInstr); ok {
+			switch sys.Name {
+			case SyscallLower:
+				lowerIdx = i
+			case SyscallRemove:
+				removeIdx = i
+			}
+		}
+	}
+	if removeIdx != lowerIdx+1 {
+		t.Errorf("remove at %d, want immediately after lower at %d:\n%s",
+			removeIdx, lowerIdx, res.Module)
+	}
+}
+
+func TestPrctlPrologue(t *testing.T) {
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := res.Module.Main().Entry().Instrs[0].(*ir.SyscallInstr)
+	if !ok || first.Name != SyscallPrctl {
+		t.Errorf("first instruction = %v, want prctl", res.Module.Main().Entry().Instrs[0])
+	}
+
+	res2, err := Analyze(m, Options{SkipPrctl: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res2.Module.Main().Entry().Instrs[0].(*ir.SyscallInstr); ok {
+		t.Error("SkipPrctl did not suppress the prologue")
+	}
+}
+
+func TestInputModuleUntouched(t *testing.T) {
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Raise(setuid).Lower(setuid).Ret()
+	m := b.MustBuild()
+	before := m.String()
+
+	if _, err := Analyze(m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != before {
+		t.Errorf("Analyze mutated its input:\n%s", got)
+	}
+}
+
+func TestBranchDeadOnOneArm(t *testing.T) {
+	// CapNetAdmin is raised only on the "debug" arm; on the other arm it
+	// must be removed at block entry (the ping -d pattern, §VII-C).
+	netadmin := caps.NewSet(caps.CapNetAdmin)
+	b := ir.NewModuleBuilder("ping")
+	f := b.Func("main", "debugFlag")
+	f.Block("entry").
+		Br(ir.R("debugFlag"), "debug", "nodebug")
+	f.Block("debug").
+		Raise(netadmin).
+		Syscall("setsockopt", ir.I(1)).
+		Lower(netadmin).
+		Jmp("loop")
+	f.Block("nodebug").Jmp("loop")
+	f.Block("loop").Compute(3).Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := res.Module.Main()
+	// On the nodebug arm the capability dies on the edge; the remove may
+	// legally appear in nodebug or (because it also dies after the lower in
+	// debug) at the top of loop. It must be gone before loop's compute runs.
+	if rs := removesIn(main.Block("debug")); len(rs) != 1 || rs[0] != netadmin {
+		t.Errorf("debug arm removes = %v, want [%s]\n%s", rs, netadmin, res.Module)
+	}
+	if rs := removesIn(main.Block("nodebug")); len(rs) != 1 || rs[0] != netadmin {
+		t.Errorf("nodebug arm removes = %v, want [%s]\n%s", rs, netadmin, res.Module)
+	}
+}
+
+func TestLoopKeepsPrivilegeAlive(t *testing.T) {
+	// A raise inside a loop keeps the capability live throughout the loop;
+	// the remove must be placed after the loop exits, not inside it.
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Const("i", 0).Jmp("header")
+	f.Block("header").
+		Cmp("c", ir.Lt, ir.R("i"), ir.I(10)).
+		Br(ir.R("c"), "body", "after")
+	f.Block("body").
+		Raise(setuid).
+		Syscall("setuid", ir.I(0)).
+		Lower(setuid).
+		Bin("i", ir.Add, ir.R("i"), ir.I(1)).
+		Jmp("header")
+	f.Block("after").Compute(4).Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := res.Module.Main()
+	if rs := removesIn(main.Block("body")); len(rs) != 0 {
+		t.Errorf("remove inserted inside the loop body: %v\n%s", rs, res.Module)
+	}
+	if rs := removesIn(main.Block("header")); len(rs) != 0 {
+		t.Errorf("remove inserted in the loop header: %v\n%s", rs, res.Module)
+	}
+	if rs := removesIn(main.Block("after")); len(rs) != 1 || rs[0] != setuid {
+		t.Errorf("after-loop removes = %v, want [%s]\n%s", rs, setuid, res.Module)
+	}
+}
+
+func TestInterproceduralSummaries(t *testing.T) {
+	// main calls helper which raises CapChown; after the call returns the
+	// capability is dead and must be removed in main.
+	chown := caps.NewSet(caps.CapChown)
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").
+		Call("helper").
+		Compute(3).
+		Ret()
+	h := b.Func("helper")
+	h.Block("entry").
+		Raise(chown).
+		Syscall("chown", ir.I(3), ir.I(0), ir.I(0)).
+		Lower(chown).
+		Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Summaries["helper"]; got != chown {
+		t.Errorf("Summaries[helper] = %s, want %s", got, chown)
+	}
+	if got := res.Summaries["main"]; got != chown {
+		t.Errorf("Summaries[main] = %s, want %s", got, chown)
+	}
+	if res.RequiredPermitted != chown {
+		t.Errorf("RequiredPermitted = %s", res.RequiredPermitted)
+	}
+	// The capability dies right after the call in main (liveOut of helper is
+	// empty), so a remove appears in main after the call or inside helper
+	// after the lower.
+	total := allRemoved(res.Module)
+	if total != chown {
+		t.Errorf("removed caps = %s, want %s", total, chown)
+	}
+}
+
+func TestHelperCalledTwiceKeepsCapBetweenCalls(t *testing.T) {
+	chown := caps.NewSet(caps.CapChown)
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").
+		Call("helper").
+		Compute(3). // capability must survive this gap
+		Call("helper").
+		Compute(2).
+		Ret()
+	h := b.Func("helper")
+	h.Block("entry").
+		Raise(chown).
+		Lower(chown).
+		Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := res.Module.Main().Entry()
+	// Exactly one remove in main, after the second call. Find positions.
+	var callIdxs, removeIdxs []int
+	for i, in := range entry.Instrs {
+		switch v := in.(type) {
+		case *ir.CallInstr:
+			callIdxs = append(callIdxs, i)
+		case *ir.SyscallInstr:
+			if v.Name == SyscallRemove {
+				removeIdxs = append(removeIdxs, i)
+			}
+		}
+	}
+	if len(callIdxs) != 2 {
+		t.Fatalf("calls = %v", callIdxs)
+	}
+	for _, r := range removeIdxs {
+		if r > callIdxs[0] && r < callIdxs[1] {
+			t.Errorf("remove between the two helper calls at %d:\n%s", r, res.Module)
+		}
+	}
+	// helper itself must not remove: its liveOut includes the cap because
+	// the first call site still needs it afterwards.
+	if rs := removesIn(res.Module.Func("helper").Entry()); len(rs) != 0 {
+		t.Errorf("helper removes = %v, want none:\n%s", rs, res.Module)
+	}
+}
+
+func TestSignalHandlerCapsNeverRemoved(t *testing.T) {
+	kill := caps.NewSet(caps.CapKill)
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("sshd")
+	b.OnSignal(17, "sigchld")
+	f := b.Func("main")
+	f.Block("entry").
+		Raise(setuid).
+		Lower(setuid).
+		Compute(5).
+		Ret()
+	h := b.Func("sigchld")
+	h.Block("entry").
+		Raise(kill).
+		Syscall("kill", ir.I(99), ir.I(9)).
+		Lower(kill).
+		Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HandlerCaps != kill {
+		t.Errorf("HandlerCaps = %s, want %s", res.HandlerCaps, kill)
+	}
+	if !res.RequiredPermitted.Has(caps.CapKill) {
+		t.Errorf("RequiredPermitted = %s must include handler caps", res.RequiredPermitted)
+	}
+	if removed := allRemoved(res.Module); removed.Has(caps.CapKill) {
+		t.Errorf("handler capability was removed:\n%s", res.Module)
+	}
+	// The non-handler capability is still removed normally.
+	if removed := allRemoved(res.Module); !removed.Has(caps.CapSetuid) {
+		t.Errorf("CapSetuid not removed:\n%s", res.Module)
+	}
+}
+
+// buildIndirectLoop models the sshd pathology (§VII-C): a client loop with an
+// indirect call whose conservative target set includes a privilege-raising
+// function, keeping privileges alive for the whole loop.
+func buildIndirectLoop(t *testing.T) *ir.Module {
+	t.Helper()
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("sshd")
+	f := b.Func("main")
+	f.Block("entry").
+		Raise(setuid).
+		Syscall("setresuid", ir.I(1001), ir.I(1001), ir.I(1001)).
+		Lower(setuid).
+		Bin("fp", ir.Add, ir.F("dispatch"), ir.I(0)).
+		Jmp("loop")
+	f.Block("loop").
+		CallInd(ir.R("fp"), ir.I(0)).
+		Const("more", 1).
+		Br(ir.R("more"), "loop", "done")
+	f.Block("done").Compute(3).Ret()
+
+	d := b.Func("dispatch", "x")
+	d.Block("entry").Ret()
+	// raiser has the same arity as dispatch and its address is taken
+	// elsewhere, so the type-based call graph includes it as a target.
+	r := b.Func("raiser", "x")
+	r.Block("entry").
+		Raise(setuid).
+		Lower(setuid).
+		Ret()
+	u := b.Func("user")
+	u.Block("entry").
+		Bin("g", ir.Add, ir.F("raiser"), ir.I(0)).
+		CallInd(ir.R("g"), ir.I(1)).
+		Ret()
+	return b.MustBuild()
+}
+
+func TestSshdIndirectCallPathology(t *testing.T) {
+	m := buildIndirectLoop(t)
+
+	// Conservative (type-based) call graph: CapSetuid stays live through the
+	// loop; the remove lands after the loop.
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := res.Module.Main()
+	if rs := removesIn(main.Entry()); len(rs) != 0 {
+		t.Errorf("conservative: remove before loop: %v\n%s", rs, res.Module)
+	}
+	if rs := removesIn(main.Block("done")); len(rs) != 1 || !rs[0].Has(caps.CapSetuid) {
+		t.Errorf("conservative: removes in done = %v\n%s", rs, res.Module)
+	}
+
+	// Oracle call graph: the indirect call only targets dispatch, so the
+	// privilege dies right after the lower in entry — the "more accurate
+	// call graph" improvement the paper suggests.
+	res2, err := Analyze(m, Options{CallGraph: callgraph.Options{
+		Mode: callgraph.Oracle,
+		IndirectTargets: map[string][]string{
+			"main": {"dispatch"},
+			"user": {"raiser"},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main2 := res2.Module.Main()
+	if rs := removesIn(main2.Entry()); len(rs) != 1 || !rs[0].Has(caps.CapSetuid) {
+		t.Errorf("oracle: removes in entry = %v\n%s", rs, res2.Module)
+	}
+}
+
+func TestTransformedModuleVerifies(t *testing.T) {
+	m := buildIndirectLoop(t)
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Module.Verify(); err != nil {
+		t.Fatalf("transformed module does not verify: %v", err)
+	}
+	if !strings.Contains(res.Module.String(), SyscallRemove) {
+		t.Error("no priv_remove in transformed output")
+	}
+}
+
+func TestRemovalsDeterministic(t *testing.T) {
+	m := buildIndirectLoop(t)
+	res1, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Module.String() != res2.Module.String() {
+		t.Error("transform is nondeterministic")
+	}
+	if len(res1.Removals) != len(res2.Removals) {
+		t.Fatalf("removal counts differ: %d vs %d", len(res1.Removals), len(res2.Removals))
+	}
+	for i := range res1.Removals {
+		if res1.Removals[i] != res2.Removals[i] {
+			t.Errorf("removal %d differs: %+v vs %+v", i, res1.Removals[i], res2.Removals[i])
+		}
+	}
+}
+
+func TestNeverRaisedNeedsNothing(t *testing.T) {
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Compute(10).Ret()
+	m := b.MustBuild()
+
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RequiredPermitted.IsEmpty() {
+		t.Errorf("RequiredPermitted = %s, want empty", res.RequiredPermitted)
+	}
+	if len(res.Removals) != 0 {
+		t.Errorf("Removals = %+v, want none", res.Removals)
+	}
+}
+
+func TestDiagnoseRaiseAfterRemove(t *testing.T) {
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("buggy")
+	f := b.Func("main")
+	f.Block("entry").
+		Remove(setuid).
+		Raise(setuid). // fails at runtime: already removed on every path
+		Ret()
+	m := b.MustBuild()
+	diags := Diagnose(m, true)
+	var foundRaise, foundInput bool
+	for _, d := range diags {
+		if strings.Contains(d, "will fail at runtime") {
+			foundRaise = true
+		}
+		if strings.Contains(d, "input already contains priv_remove") {
+			foundInput = true
+		}
+	}
+	if !foundRaise || !foundInput {
+		t.Errorf("diagnostics = %v", diags)
+	}
+	// Analyze surfaces the same diagnostics on its input.
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) == 0 {
+		t.Error("Analyze did not surface diagnostics")
+	}
+}
+
+func TestDiagnoseBranchKeepsRaiseLegal(t *testing.T) {
+	// A remove on only ONE path does not doom a later raise: the other
+	// path still permits it, so no diagnostic fires.
+	setuid := caps.NewSet(caps.CapSetuid)
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main", "flag")
+	f.Block("entry").Br(ir.R("flag"), "drop", "keep")
+	f.Block("drop").Remove(setuid).Jmp("use")
+	f.Block("keep").Jmp("use")
+	f.Block("use").Raise(setuid).Lower(setuid).Ret()
+	m := b.MustBuild()
+	if diags := Diagnose(m, false); len(diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestTransformedProgramsDiagnoseClean(t *testing.T) {
+	// The transform's own output never raises after its removes — checked
+	// by Analyze internally; exercise it on a looping, branching module.
+	m := buildIndirectLoop(t)
+	res, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := Diagnose(res.Module, false); len(bad) != 0 {
+		t.Errorf("transformed module diagnostics: %v", bad)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("clean input produced diagnostics: %v", res.Diagnostics)
+	}
+}

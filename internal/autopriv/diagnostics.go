@@ -1,0 +1,94 @@
+package autopriv
+
+import (
+	"fmt"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/cfg"
+	"privanalyzer/internal/dataflow"
+	"privanalyzer/internal/ir"
+)
+
+// Diagnose checks a module for privilege-use bugs that make a program
+// misbehave at runtime regardless of the transform:
+//
+//   - a priv_raise of a capability that some path has already priv_removed
+//     (the raise fails with EPERM at runtime — the bug priv_remove's
+//     irreversibility makes easy to introduce);
+//   - priv_remove calls in what is supposed to be raise/lower-annotated
+//     AutoPriv input (reported so developers know the transform's output is
+//     being re-analysed).
+//
+// The same check doubles as the transform's self-verification: a correctly
+// transformed module never raises after one of its inserted removes. Each
+// finding is one human-readable string.
+//
+// The analysis is intraprocedural: a remove in one function followed by a
+// raise in another is not flagged (the transform itself cannot produce that
+// shape, because liveness keeps a capability alive across any call that may
+// raise it).
+func Diagnose(m *ir.Module, reportInputRemoves bool) []string {
+	var out []string
+
+	for _, fn := range m.Funcs {
+		if len(fn.Blocks) == 0 {
+			continue
+		}
+		g := cfg.New(fn)
+		// Forward may-analysis over the complement domain: the set of
+		// capabilities possibly still in the permitted set. Joining with
+		// union keeps a capability "possibly permitted" if any path kept
+		// it, so a raise is flagged only when EVERY path to it has removed
+		// the capability — a guaranteed runtime failure.
+		res := dataflow.Solve(g, dataflow.Problem[caps.Set]{
+			Direction: dataflow.Forward,
+			Join:      caps.Set.Union,
+			Boundary:  caps.FullSet(),
+			Transfer: func(b *ir.Block, in caps.Set) caps.Set {
+				return applyRemoves(b, in)
+			},
+		})
+		reach := g.Reachable()
+		for _, blk := range fn.Blocks {
+			if !reach[blk] {
+				continue
+			}
+			cur := res.In[blk]
+			for i, in := range blk.Instrs {
+				sys, ok := in.(*ir.SyscallInstr)
+				if !ok || len(sys.Args) != 1 {
+					continue
+				}
+				set := caps.Set(sys.Args[0].Imm)
+				switch sys.Name {
+				case SyscallRemove:
+					if reportInputRemoves {
+						out = append(out, fmt.Sprintf(
+							"@%s:%s[%d]: input already contains priv_remove(%s); AutoPriv expects raise/lower-annotated input",
+							fn.Name, blk.Name, i, set))
+					}
+					cur = cur.Minus(set)
+				case SyscallRaise:
+					if dead := set.Minus(cur); !dead.IsEmpty() {
+						out = append(out, fmt.Sprintf(
+							"@%s:%s[%d]: priv_raise(%s) but %s has been removed on every path; the raise will fail at runtime",
+							fn.Name, blk.Name, i, set, dead))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyRemoves folds a block's priv_remove effects over the
+// possibly-permitted set.
+func applyRemoves(b *ir.Block, in caps.Set) caps.Set {
+	for _, instr := range b.Instrs {
+		sys, ok := instr.(*ir.SyscallInstr)
+		if ok && sys.Name == SyscallRemove && len(sys.Args) == 1 {
+			in = in.Minus(caps.Set(sys.Args[0].Imm))
+		}
+	}
+	return in
+}

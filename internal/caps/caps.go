@@ -1,0 +1,240 @@
+// Package caps models Linux capabilities ("privileges" in the PrivAnalyzer
+// paper's terminology) and process credentials.
+//
+// Linux divides the power of the root user into separate capabilities; each
+// capability bypasses a subset of the access-control rules that the root user
+// on a traditional Unix system can bypass. Each process carries three
+// capability sets (effective, permitted, inheritable) plus real, effective,
+// and saved user and group IDs. This package provides the bitset type used
+// throughout PrivAnalyzer, the credential record, and the three privilege
+// manipulation wrappers from the AutoPriv project: priv_raise, priv_lower,
+// and priv_remove.
+package caps
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Cap identifies a single Linux capability. The numeric values follow the
+// Linux kernel's numbering (CAP_CHOWN == 0) so that bit positions in a Set
+// match /proc/<pid>/status CapPrm renderings.
+type Cap uint8
+
+// Linux capability constants, in kernel numbering order.
+const (
+	CapChown          Cap = 0  // CAP_CHOWN: change file owner/group arbitrarily.
+	CapDacOverride    Cap = 1  // CAP_DAC_OVERRIDE: bypass r/w/x permission checks.
+	CapDacReadSearch  Cap = 2  // CAP_DAC_READ_SEARCH: bypass read/search permission checks.
+	CapFowner         Cap = 3  // CAP_FOWNER: bypass owner checks (chmod, utimes, ...).
+	CapFsetid         Cap = 4  // CAP_FSETID: keep setuid/setgid bits on modification.
+	CapKill           Cap = 5  // CAP_KILL: bypass permission checks for signals.
+	CapSetgid         Cap = 6  // CAP_SETGID: arbitrary GID and supplementary group manipulation.
+	CapSetuid         Cap = 7  // CAP_SETUID: arbitrary UID manipulation.
+	CapSetpcap        Cap = 8  // CAP_SETPCAP: capability set manipulation.
+	CapLinuxImmutable Cap = 9  // CAP_LINUX_IMMUTABLE: modify immutable/append-only files.
+	CapNetBindService Cap = 10 // CAP_NET_BIND_SERVICE: bind to ports below 1024.
+	CapNetBroadcast   Cap = 11 // CAP_NET_BROADCAST: broadcast and multicast.
+	CapNetAdmin       Cap = 12 // CAP_NET_ADMIN: network administration (SO_DEBUG, SO_MARK, ...).
+	CapNetRaw         Cap = 13 // CAP_NET_RAW: raw and packet sockets.
+	CapIpcLock        Cap = 14 // CAP_IPC_LOCK: lock memory.
+	CapIpcOwner       Cap = 15 // CAP_IPC_OWNER: bypass IPC ownership checks.
+	CapSysModule      Cap = 16 // CAP_SYS_MODULE: load kernel modules.
+	CapSysRawio       Cap = 17 // CAP_SYS_RAWIO: raw I/O port access.
+	CapSysChroot      Cap = 18 // CAP_SYS_CHROOT: call chroot(2).
+	CapSysPtrace      Cap = 19 // CAP_SYS_PTRACE: trace arbitrary processes.
+	CapSysPacct       Cap = 20 // CAP_SYS_PACCT: configure process accounting.
+	CapSysAdmin       Cap = 21 // CAP_SYS_ADMIN: broad system administration.
+	CapSysBoot        Cap = 22 // CAP_SYS_BOOT: reboot(2).
+	CapSysNice        Cap = 23 // CAP_SYS_NICE: raise priority of arbitrary processes.
+	CapSysResource    Cap = 24 // CAP_SYS_RESOURCE: override resource limits.
+	CapSysTime        Cap = 25 // CAP_SYS_TIME: set system clock.
+	CapSysTtyConfig   Cap = 26 // CAP_SYS_TTY_CONFIG: configure ttys.
+	CapMknod          Cap = 27 // CAP_MKNOD: create device special files.
+	CapLease          Cap = 28 // CAP_LEASE: establish file leases.
+	CapAuditWrite     Cap = 29 // CAP_AUDIT_WRITE: write audit log records.
+	CapAuditControl   Cap = 30 // CAP_AUDIT_CONTROL: configure auditing.
+	CapSetfcap        Cap = 31 // CAP_SETFCAP: set file capabilities.
+	CapMacOverride    Cap = 32 // CAP_MAC_OVERRIDE: override MAC policy.
+	CapMacAdmin       Cap = 33 // CAP_MAC_ADMIN: configure MAC policy.
+	CapSyslog         Cap = 34 // CAP_SYSLOG: privileged syslog operations.
+	CapWakeAlarm      Cap = 35 // CAP_WAKE_ALARM: trigger wake alarms.
+	CapBlockSuspend   Cap = 36 // CAP_BLOCK_SUSPEND: block system suspend.
+	CapAuditRead      Cap = 37 // CAP_AUDIT_READ: read audit log via netlink.
+
+	// NumCaps is the number of capabilities this model knows about.
+	NumCaps = 38
+)
+
+// capNames maps each capability to the CamelCase name used by the paper's
+// tables (e.g. "CapDacReadSearch").
+var capNames = [NumCaps]string{
+	"CapChown", "CapDacOverride", "CapDacReadSearch", "CapFowner",
+	"CapFsetid", "CapKill", "CapSetgid", "CapSetuid", "CapSetpcap",
+	"CapLinuxImmutable", "CapNetBindService", "CapNetBroadcast",
+	"CapNetAdmin", "CapNetRaw", "CapIpcLock", "CapIpcOwner", "CapSysModule",
+	"CapSysRawio", "CapSysChroot", "CapSysPtrace", "CapSysPacct",
+	"CapSysAdmin", "CapSysBoot", "CapSysNice", "CapSysResource",
+	"CapSysTime", "CapSysTtyConfig", "CapMknod", "CapLease",
+	"CapAuditWrite", "CapAuditControl", "CapSetfcap", "CapMacOverride",
+	"CapMacAdmin", "CapSyslog", "CapWakeAlarm", "CapBlockSuspend",
+	"CapAuditRead",
+}
+
+// kernelName converts a CamelCase capability name to its kernel macro
+// spelling (e.g. "CapDacReadSearch" -> "CAP_DAC_READ_SEARCH").
+func kernelName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 8)
+	for i, r := range name {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return strings.ToUpper(b.String())
+}
+
+// Valid reports whether c names a capability this model knows about.
+func (c Cap) Valid() bool { return c < NumCaps }
+
+// String returns the CamelCase name used in the paper's tables, or a
+// numeric fallback for out-of-range values.
+func (c Cap) String() string {
+	if !c.Valid() {
+		return fmt.Sprintf("Cap(%d)", uint8(c))
+	}
+	return capNames[c]
+}
+
+// KernelName returns the kernel macro spelling, e.g. "CAP_DAC_READ_SEARCH".
+func (c Cap) KernelName() string {
+	if !c.Valid() {
+		return fmt.Sprintf("CAP_%d", uint8(c))
+	}
+	return kernelName(capNames[c])
+}
+
+// ParseCap resolves a capability from either the CamelCase paper spelling
+// ("CapSetuid") or the kernel macro spelling ("CAP_SETUID"), case-insensitively.
+func ParseCap(s string) (Cap, error) {
+	norm := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), "_", ""))
+	for i, name := range capNames {
+		if strings.ToLower(name) == norm {
+			return Cap(i), nil
+		}
+	}
+	return 0, fmt.Errorf("caps: unknown capability %q", s)
+}
+
+// Set is a bitset of capabilities. The zero value is the empty set. Set is a
+// value type: all operations return new sets and never mutate the receiver.
+type Set uint64
+
+// EmptySet is the set containing no capabilities.
+const EmptySet Set = 0
+
+// NewSet returns a set containing exactly the given capabilities.
+func NewSet(cs ...Cap) Set {
+	var s Set
+	for _, c := range cs {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// FullSet returns the set of all capabilities known to the model (the
+// permitted set of an unrestricted root process).
+func FullSet() Set { return Set(1)<<NumCaps - 1 }
+
+// Has reports whether c is a member of s.
+func (s Set) Has(c Cap) bool { return c.Valid() && s&(1<<c) != 0 }
+
+// Add returns s ∪ {c}.
+func (s Set) Add(c Cap) Set {
+	if !c.Valid() {
+		return s
+	}
+	return s | 1<<c
+}
+
+// Drop returns s \ {c}.
+func (s Set) Drop(c Cap) Set {
+	if !c.Valid() {
+		return s
+	}
+	return s &^ (1 << c)
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// SubsetOf reports whether every capability in s is also in t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// IsEmpty reports whether s contains no capabilities.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of capabilities in s.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Caps returns the members of s in ascending kernel-number order.
+func (s Set) Caps() []Cap {
+	out := make([]Cap, 0, s.Len())
+	for c := Cap(0); c < NumCaps; c++ {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the set as the paper's tables do: a comma-separated list of
+// CamelCase names in kernel-number order, or "(empty)" for the empty set.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "(empty)"
+	}
+	names := make([]string, 0, s.Len())
+	for _, c := range s.Caps() {
+		names = append(names, c.String())
+	}
+	return strings.Join(names, ",")
+}
+
+// ParseSet parses a comma-separated list of capability names (either
+// spelling), with "(empty)" or the empty string denoting the empty set.
+func ParseSet(s string) (Set, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "(empty)") || strings.EqualFold(s, "empty") {
+		return EmptySet, nil
+	}
+	var out Set
+	for _, part := range strings.Split(s, ",") {
+		c, err := ParseCap(part)
+		if err != nil {
+			return 0, err
+		}
+		out = out.Add(c)
+	}
+	return out, nil
+}
+
+// SortedNames returns the capability names of s sorted lexicographically,
+// useful for deterministic diagnostics.
+func (s Set) SortedNames() []string {
+	names := make([]string, 0, s.Len())
+	for _, c := range s.Caps() {
+		names = append(names, c.String())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,260 @@
+package caps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapString(t *testing.T) {
+	tests := []struct {
+		c    Cap
+		want string
+	}{
+		{CapChown, "CapChown"},
+		{CapDacReadSearch, "CapDacReadSearch"},
+		{CapSetuid, "CapSetuid"},
+		{CapNetBindService, "CapNetBindService"},
+		{CapAuditRead, "CapAuditRead"},
+		{Cap(200), "Cap(200)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Cap(%d).String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestCapKernelName(t *testing.T) {
+	tests := []struct {
+		c    Cap
+		want string
+	}{
+		{CapChown, "CAP_CHOWN"},
+		{CapDacReadSearch, "CAP_DAC_READ_SEARCH"},
+		{CapSetuid, "CAP_SETUID"},
+		{CapNetBindService, "CAP_NET_BIND_SERVICE"},
+		{CapSysTtyConfig, "CAP_SYS_TTY_CONFIG"},
+		{Cap(99), "CAP_99"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.KernelName(); got != tt.want {
+			t.Errorf("Cap(%d).KernelName() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestParseCap(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Cap
+		wantErr bool
+	}{
+		{"CapSetuid", CapSetuid, false},
+		{"CAP_SETUID", CapSetuid, false},
+		{"cap_setuid", CapSetuid, false},
+		{" CapDacReadSearch ", CapDacReadSearch, false},
+		{"CAP_DAC_READ_SEARCH", CapDacReadSearch, false},
+		{"CapNetBindService", CapNetBindService, false},
+		{"NotACap", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseCap(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseCap(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseCap(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseCapRoundTripAll(t *testing.T) {
+	for c := Cap(0); c < NumCaps; c++ {
+		got, err := ParseCap(c.String())
+		if err != nil {
+			t.Fatalf("ParseCap(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("ParseCap(%q) = %v, want %v", c.String(), got, c)
+		}
+		got, err = ParseCap(c.KernelName())
+		if err != nil {
+			t.Fatalf("ParseCap(%q): %v", c.KernelName(), err)
+		}
+		if got != c {
+			t.Errorf("ParseCap(%q) = %v, want %v", c.KernelName(), got, c)
+		}
+	}
+}
+
+func TestSetBasicOps(t *testing.T) {
+	s := NewSet(CapSetuid, CapChown)
+	if !s.Has(CapSetuid) || !s.Has(CapChown) {
+		t.Fatalf("NewSet missing members: %s", s)
+	}
+	if s.Has(CapKill) {
+		t.Fatalf("NewSet has stray member: %s", s)
+	}
+	if got := s.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	s2 := s.Add(CapKill)
+	if !s2.Has(CapKill) {
+		t.Error("Add failed")
+	}
+	if s.Has(CapKill) {
+		t.Error("Add mutated receiver")
+	}
+	s3 := s2.Drop(CapChown)
+	if s3.Has(CapChown) {
+		t.Error("Drop failed")
+	}
+	if !s2.Has(CapChown) {
+		t.Error("Drop mutated receiver")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(CapSetuid, CapSetgid, CapChown)
+	b := NewSet(CapSetgid, CapKill)
+	if got := a.Union(b); got != NewSet(CapSetuid, CapSetgid, CapChown, CapKill) {
+		t.Errorf("Union = %s", got)
+	}
+	if got := a.Intersect(b); got != NewSet(CapSetgid) {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := a.Minus(b); got != NewSet(CapSetuid, CapChown) {
+		t.Errorf("Minus = %s", got)
+	}
+	if !NewSet(CapSetgid).SubsetOf(a) {
+		t.Error("SubsetOf false negative")
+	}
+	if b.SubsetOf(a) {
+		t.Error("SubsetOf false positive")
+	}
+	if !EmptySet.IsEmpty() || a.IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+	if got := FullSet().Len(); got != NumCaps {
+		t.Errorf("FullSet().Len() = %d, want %d", got, NumCaps)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	tests := []struct {
+		s    Set
+		want string
+	}{
+		{EmptySet, "(empty)"},
+		{NewSet(CapSetuid), "CapSetuid"},
+		// Kernel-number order: Chown(0) < DacOverride(1) < Setuid(7).
+		{NewSet(CapSetuid, CapChown, CapDacOverride), "CapChown,CapDacOverride,CapSetuid"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Set.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Set
+		wantErr bool
+	}{
+		{"", EmptySet, false},
+		{"(empty)", EmptySet, false},
+		{"empty", EmptySet, false},
+		{"CapSetuid,CapChown", NewSet(CapSetuid, CapChown), false},
+		{"CAP_SETUID, CAP_CHOWN", NewSet(CapSetuid, CapChown), false},
+		{"CapSetuid,Bogus", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseSet(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseSet(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseSet(%q) = %s, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+// maskSet clamps a random uint64 to a valid Set for property tests.
+func maskSet(x uint64) Set { return Set(x) & FullSet() }
+
+func TestSetPropertiesQuick(t *testing.T) {
+	// Union is commutative and associative; intersect distributes; a set
+	// round-trips through String/ParseSet.
+	commutative := func(x, y uint64) bool {
+		a, b := maskSet(x), maskSet(y)
+		return a.Union(b) == b.Union(a) && a.Intersect(b) == b.Intersect(a)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	associative := func(x, y, z uint64) bool {
+		a, b, c := maskSet(x), maskSet(y), maskSet(z)
+		return a.Union(b).Union(c) == a.Union(b.Union(c))
+	}
+	if err := quick.Check(associative, nil); err != nil {
+		t.Error(err)
+	}
+	distributive := func(x, y, z uint64) bool {
+		a, b, c := maskSet(x), maskSet(y), maskSet(z)
+		return a.Intersect(b.Union(c)) == a.Intersect(b).Union(a.Intersect(c))
+	}
+	if err := quick.Check(distributive, nil); err != nil {
+		t.Error(err)
+	}
+	roundTrip := func(x uint64) bool {
+		a := maskSet(x)
+		got, err := ParseSet(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+	minusIsComplementIntersect := func(x, y uint64) bool {
+		a, b := maskSet(x), maskSet(y)
+		return a.Minus(b) == a.Intersect(FullSet().Minus(b))
+	}
+	if err := quick.Check(minusIsComplementIntersect, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetCapsOrdered(t *testing.T) {
+	s := NewSet(CapSetuid, CapChown, CapKill)
+	got := s.Caps()
+	want := []Cap{CapChown, CapKill, CapSetuid}
+	if len(got) != len(want) {
+		t.Fatalf("Caps() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Caps() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	s := NewSet(CapSetuid, CapChown, CapDacReadSearch)
+	names := s.SortedNames()
+	if len(names) != 3 {
+		t.Fatalf("SortedNames len = %d", len(names))
+	}
+	if !strings.HasPrefix(names[0], "CapChown") {
+		t.Errorf("SortedNames = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("SortedNames not sorted: %v", names)
+		}
+	}
+}

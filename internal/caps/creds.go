@@ -1,0 +1,218 @@
+package caps
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WildID is the conventional "leave unchanged" argument for the set*id
+// syscall family, mirroring the -1 sentinel in the Linux API.
+const WildID = -1
+
+// Sentinel errors returned by credential operations.
+var (
+	// ErrNotPermitted is returned when an operation requires a capability
+	// or identity the process does not hold (Linux EPERM).
+	ErrNotPermitted = errors.New("caps: operation not permitted")
+	// ErrNotInPermitted is returned by Raise when a capability is absent
+	// from the permitted set and therefore can never be enabled again.
+	ErrNotInPermitted = errors.New("caps: capability not in permitted set")
+)
+
+// Creds is the credential state of a Linux task: real/effective/saved user
+// and group IDs plus the three capability sets. Creds is a small value type;
+// methods that change state are defined on *Creds.
+type Creds struct {
+	RUID, EUID, SUID int
+	RGID, EGID, SGID int
+
+	Effective   Set
+	Permitted   Set
+	Inheritable Set
+
+	// NoSetuidFixup records that the process called
+	// prctl(PR_SET_SECUREBITS, SECBIT_NO_SETUID_FIXUP): the kernel's
+	// backward-compatibility behaviour of adjusting capability sets when
+	// UIDs transition to or from zero is disabled. PrivAnalyzer inserts
+	// this prctl into every program it compiles (paper §VII-B), so all of
+	// our analyses assume it; the flag exists so the kernel model can also
+	// simulate legacy behaviour.
+	NoSetuidFixup bool
+}
+
+// NewCreds returns credentials for a process with all six IDs set to uid and
+// gid, the given permitted set, an empty effective set, and the
+// SECBIT_NO_SETUID_FIXUP behaviour PrivAnalyzer installs.
+func NewCreds(uid, gid int, permitted Set) Creds {
+	return Creds{
+		RUID: uid, EUID: uid, SUID: uid,
+		RGID: gid, EGID: gid, SGID: gid,
+		Permitted:     permitted,
+		NoSetuidFixup: true,
+	}
+}
+
+// String renders the credentials in the format of the paper's tables:
+// "perm=<set> uid=r,e,s gid=r,e,s".
+func (c Creds) String() string {
+	return fmt.Sprintf("perm=%s uid=%d,%d,%d gid=%d,%d,%d",
+		c.Permitted, c.RUID, c.EUID, c.SUID, c.RGID, c.EGID, c.SGID)
+}
+
+// UIDString renders "ruid,euid,suid" as in the paper's UID column.
+func (c Creds) UIDString() string {
+	return fmt.Sprintf("%d,%d,%d", c.RUID, c.EUID, c.SUID)
+}
+
+// GIDString renders "rgid,egid,sgid" as in the paper's GID column.
+func (c Creds) GIDString() string {
+	return fmt.Sprintf("%d,%d,%d", c.RGID, c.EGID, c.SGID)
+}
+
+// PhaseKey identifies a ChronoPriv measurement phase: a distinct combination
+// of permitted privilege set and the six process IDs. Two program points with
+// equal PhaseKeys are indistinguishable to an attacker under the paper's
+// attack model.
+type PhaseKey struct {
+	Permitted        Set
+	RUID, EUID, SUID int
+	RGID, EGID, SGID int
+}
+
+// Phase returns the measurement phase key for the credentials.
+func (c Creds) Phase() PhaseKey {
+	return PhaseKey{
+		Permitted: c.Permitted,
+		RUID:      c.RUID, EUID: c.EUID, SUID: c.SUID,
+		RGID: c.RGID, EGID: c.EGID, SGID: c.SGID,
+	}
+}
+
+// Raise enables the given capabilities in the effective set (the AutoPriv
+// priv_raise wrapper). It fails with ErrNotInPermitted if any capability has
+// already been removed from the permitted set.
+func (c *Creds) Raise(s Set) error {
+	if !s.SubsetOf(c.Permitted) {
+		return fmt.Errorf("%w: raising %s with permitted %s",
+			ErrNotInPermitted, s.Minus(c.Permitted), c.Permitted)
+	}
+	c.Effective = c.Effective.Union(s)
+	return nil
+}
+
+// Lower disables the given capabilities in the effective set (priv_lower).
+// Lowering a capability that is not raised is a no-op, as in Linux.
+func (c *Creds) Lower(s Set) {
+	c.Effective = c.Effective.Minus(s)
+}
+
+// Remove disables the given capabilities in both the effective and permitted
+// sets (priv_remove). A removed capability can never be re-acquired by the
+// process until it executes a new program image.
+func (c *Creds) Remove(s Set) {
+	c.Effective = c.Effective.Minus(s)
+	c.Permitted = c.Permitted.Minus(s)
+}
+
+// HasEffective reports whether cap is raised in the effective set; this is
+// the check the kernel's access-control paths perform.
+func (c Creds) HasEffective(cap Cap) bool { return c.Effective.Has(cap) }
+
+// uidOK reports whether v is one of the current real, effective, or saved
+// user IDs — the values an unprivileged process may assume.
+func (c Creds) uidOK(v int) bool { return v == c.RUID || v == c.EUID || v == c.SUID }
+
+// gidOK is the group analogue of uidOK.
+func (c Creds) gidOK(v int) bool { return v == c.RGID || v == c.EGID || v == c.SGID }
+
+// Setuid implements setuid(2). With CapSetuid raised, all three user IDs are
+// set to uid. Without it, uid must match the real or saved UID, and only the
+// effective UID changes.
+func (c *Creds) Setuid(uid int) error {
+	if c.HasEffective(CapSetuid) {
+		c.RUID, c.EUID, c.SUID = uid, uid, uid
+		return nil
+	}
+	if uid != c.RUID && uid != c.SUID {
+		return fmt.Errorf("%w: setuid(%d) with %s", ErrNotPermitted, uid, c.String())
+	}
+	c.EUID = uid
+	return nil
+}
+
+// Seteuid implements seteuid(2): set the effective UID to uid, which must be
+// the real or saved UID unless CapSetuid is raised.
+func (c *Creds) Seteuid(uid int) error {
+	if !c.HasEffective(CapSetuid) && uid != c.RUID && uid != c.SUID {
+		return fmt.Errorf("%w: seteuid(%d) with %s", ErrNotPermitted, uid, c.String())
+	}
+	c.EUID = uid
+	return nil
+}
+
+// Setresuid implements setresuid(2). Each of r, e, s may be WildID (leave
+// unchanged). An unprivileged process may set each ID only to one of its
+// current real, effective, or saved UIDs.
+func (c *Creds) Setresuid(r, e, s int) error {
+	priv := c.HasEffective(CapSetuid)
+	for _, v := range []int{r, e, s} {
+		if v != WildID && !priv && !c.uidOK(v) {
+			return fmt.Errorf("%w: setresuid(%d,%d,%d) with %s",
+				ErrNotPermitted, r, e, s, c.String())
+		}
+	}
+	if r != WildID {
+		c.RUID = r
+	}
+	if e != WildID {
+		c.EUID = e
+	}
+	if s != WildID {
+		c.SUID = s
+	}
+	return nil
+}
+
+// Setgid implements setgid(2), the group analogue of Setuid (gated on
+// CapSetgid).
+func (c *Creds) Setgid(gid int) error {
+	if c.HasEffective(CapSetgid) {
+		c.RGID, c.EGID, c.SGID = gid, gid, gid
+		return nil
+	}
+	if gid != c.RGID && gid != c.SGID {
+		return fmt.Errorf("%w: setgid(%d) with %s", ErrNotPermitted, gid, c.String())
+	}
+	c.EGID = gid
+	return nil
+}
+
+// Setegid implements setegid(2).
+func (c *Creds) Setegid(gid int) error {
+	if !c.HasEffective(CapSetgid) && gid != c.RGID && gid != c.SGID {
+		return fmt.Errorf("%w: setegid(%d) with %s", ErrNotPermitted, gid, c.String())
+	}
+	c.EGID = gid
+	return nil
+}
+
+// Setresgid implements setresgid(2), the group analogue of Setresuid.
+func (c *Creds) Setresgid(r, e, s int) error {
+	priv := c.HasEffective(CapSetgid)
+	for _, v := range []int{r, e, s} {
+		if v != WildID && !priv && !c.gidOK(v) {
+			return fmt.Errorf("%w: setresgid(%d,%d,%d) with %s",
+				ErrNotPermitted, r, e, s, c.String())
+		}
+	}
+	if r != WildID {
+		c.RGID = r
+	}
+	if e != WildID {
+		c.EGID = e
+	}
+	if s != WildID {
+		c.SGID = s
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package caps_test
+
+import (
+	"fmt"
+
+	"privanalyzer/internal/caps"
+)
+
+// Example shows the raise/lower/remove lifecycle from the AutoPriv runtime:
+// a removed capability can never be raised again.
+func Example() {
+	creds := caps.NewCreds(1000, 1000, caps.NewSet(caps.CapSetuid, caps.CapChown))
+
+	_ = creds.Raise(caps.NewSet(caps.CapSetuid))
+	fmt.Println("raised:", creds.Effective)
+
+	creds.Lower(caps.NewSet(caps.CapSetuid))
+	creds.Remove(caps.NewSet(caps.CapSetuid))
+	fmt.Println("permitted after remove:", creds.Permitted)
+
+	err := creds.Raise(caps.NewSet(caps.CapSetuid))
+	fmt.Println("raise after remove fails:", err != nil)
+	// Output:
+	// raised: CapSetuid
+	// permitted after remove: CapChown
+	// raise after remove fails: true
+}
+
+// ExampleParseSet parses the paper's table spellings.
+func ExampleParseSet() {
+	s, _ := caps.ParseSet("CapDacReadSearch,CapSetuid")
+	fmt.Println(s.Has(caps.CapSetuid), s.Has(caps.CapChown))
+	fmt.Println(s)
+	// Output:
+	// true false
+	// CapDacReadSearch,CapSetuid
+}

@@ -1,0 +1,21 @@
+package caps
+
+import "testing"
+
+// FuzzParseSet checks the capability-set parser never panics and accepted
+// sets round-trip through String.
+func FuzzParseSet(f *testing.F) {
+	f.Add("CapSetuid,CapChown")
+	f.Add("CAP_DAC_READ_SEARCH")
+	f.Add("(empty)")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSet(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseSet(s.String())
+		if err != nil || again != s {
+			t.Fatalf("round trip: %v / %s vs %s", err, again, s)
+		}
+	})
+}

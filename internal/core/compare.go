@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"privanalyzer/internal/attacks"
+	"privanalyzer/internal/rosa"
+)
+
+// Delta quantifies how a program's security posture changed between two
+// analyses — the developer workflow §V motivates: modify a program, re-run
+// PrivAnalyzer, and see whether the change helped or hurt.
+type Delta struct {
+	// Before and After name the two analyses.
+	Before, After string
+	// ShareBefore and ShareAfter are the per-attack vulnerable-time shares.
+	ShareBefore, ShareAfter [4]float64
+	// NewlyVulnerable lists attacks the after-version is exposed to at any
+	// point while the before-version never was.
+	NewlyVulnerable []attacks.ID
+	// NewlySafe lists attacks the before-version was exposed to at some
+	// point and the after-version never is.
+	NewlySafe []attacks.ID
+}
+
+// Compare computes the posture change from before to after. The analyses
+// must have run the same attacks.
+func Compare(before, after *Analysis) *Delta {
+	d := &Delta{
+		Before:      before.Program.Name,
+		After:       after.Program.Name,
+		ShareBefore: before.VulnerableShare,
+		ShareAfter:  after.VulnerableShare,
+	}
+	everVulnerable := func(a *Analysis, i int) bool {
+		for _, pr := range a.Phases {
+			if pr.Verdicts[i] == rosa.Vulnerable {
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range attacks.All {
+		i := int(id) - 1
+		b, a := everVulnerable(before, i), everVulnerable(after, i)
+		switch {
+		case !b && a:
+			d.NewlyVulnerable = append(d.NewlyVulnerable, id)
+		case b && !a:
+			d.NewlySafe = append(d.NewlySafe, id)
+		}
+	}
+	return d
+}
+
+// Improved reports whether the change strictly shrank every attack's window
+// without opening any new attack.
+func (d *Delta) Improved() bool {
+	if len(d.NewlyVulnerable) > 0 {
+		return false
+	}
+	better := false
+	for i := range d.ShareBefore {
+		if d.ShareAfter[i] > d.ShareBefore[i]+1e-9 {
+			return false
+		}
+		if d.ShareAfter[i] < d.ShareBefore[i]-1e-9 {
+			better = true
+		}
+	}
+	return better
+}
+
+// String renders the delta as a short posture-change report.
+func (d *Delta) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "security posture change: %s -> %s\n", d.Before, d.After)
+	for _, id := range attacks.All {
+		i := int(id) - 1
+		arrow := "="
+		switch {
+		case d.ShareAfter[i] < d.ShareBefore[i]-1e-9:
+			arrow = "improved"
+		case d.ShareAfter[i] > d.ShareBefore[i]+1e-9:
+			arrow = "REGRESSED"
+		}
+		fmt.Fprintf(&b, "  attack %d (%s): %6.2f%% -> %6.2f%%  %s\n",
+			id, id.Description(), d.ShareBefore[i], d.ShareAfter[i], arrow)
+	}
+	if len(d.NewlyVulnerable) > 0 {
+		fmt.Fprintf(&b, "  NEW exposure: %v\n", d.NewlyVulnerable)
+	}
+	if len(d.NewlySafe) > 0 {
+		fmt.Fprintf(&b, "  eliminated: %v\n", d.NewlySafe)
+	}
+	if d.Improved() {
+		b.WriteString("  verdict: strict improvement\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"privanalyzer/internal/core"
+	"privanalyzer/internal/programs"
+)
+
+// Example runs the full PrivAnalyzer pipeline on ping — the paper's example
+// of a program that uses privileges well — and prints its per-attack
+// windows of opportunity.
+func Example() {
+	p, err := programs.Ping()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a, err := core.Analyze(p, core.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("phases: %d, mismatches vs paper: %d\n", len(a.Phases), len(a.Mismatches()))
+	fmt.Printf("vulnerable windows: %.0f%% %.0f%% %.0f%% %.0f%%\n",
+		a.VulnerableShare[0], a.VulnerableShare[1], a.VulnerableShare[2], a.VulnerableShare[3])
+	// Output:
+	// phases: 3, mismatches vs paper: 0
+	// vulnerable windows: 0% 0% 0% 0%
+}

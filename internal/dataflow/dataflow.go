@@ -1,0 +1,125 @@
+// Package dataflow provides a generic iterative worklist solver for
+// intraprocedural dataflow problems over a CFG. AutoPriv's privilege
+// liveness analysis instantiates it backwards over the capability-set
+// lattice; it is generic so tests and future analyses can instantiate other
+// lattices.
+package dataflow
+
+import (
+	"privanalyzer/internal/cfg"
+	"privanalyzer/internal/ir"
+)
+
+// Direction selects whether facts propagate with or against control flow.
+type Direction uint8
+
+const (
+	// Forward propagates facts from entry toward exits.
+	Forward Direction = iota + 1
+	// Backward propagates facts from exits toward the entry.
+	Backward
+)
+
+// Problem describes one dataflow problem over facts of comparable type F.
+// The fact type's zero value is the lattice bottom. Join must be
+// commutative, associative, and idempotent; Transfer must be monotone for
+// the solver to terminate on lattices of finite height.
+type Problem[F comparable] struct {
+	// Direction of propagation.
+	Direction Direction
+	// Join merges facts at control-flow merge points.
+	Join func(a, b F) F
+	// Transfer computes the fact at the far side of a block from the fact
+	// at its near side (In for Forward, Out for Backward).
+	Transfer func(b *ir.Block, in F) F
+	// Boundary is the fact at the entry block (Forward) or at every exit
+	// block (Backward).
+	Boundary F
+}
+
+// Result holds the fixed-point facts at both ends of every reachable block.
+// In is the fact before the block's first instruction and Out the fact after
+// its terminator, regardless of direction.
+type Result[F comparable] struct {
+	In  map[*ir.Block]F
+	Out map[*ir.Block]F
+}
+
+// Solve runs the worklist algorithm to a fixed point and returns the
+// per-block facts. Only blocks reachable from the entry participate.
+func Solve[F comparable](g *cfg.Graph, p Problem[F]) Result[F] {
+	res := Result[F]{
+		In:  make(map[*ir.Block]F, len(g.Blocks)),
+		Out: make(map[*ir.Block]F, len(g.Blocks)),
+	}
+
+	var order []*ir.Block
+	if p.Direction == Forward {
+		order = g.ReversePostOrder()
+	} else {
+		order = g.PostOrder()
+	}
+	if len(order) == 0 {
+		return res
+	}
+
+	inWork := make(map[*ir.Block]bool, len(order))
+	work := make([]*ir.Block, 0, len(order))
+	push := func(b *ir.Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range order {
+		push(b)
+	}
+
+	exits := make(map[*ir.Block]bool)
+	for _, b := range g.ExitBlocks() {
+		exits[b] = true
+	}
+	entry := g.Entry()
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		switch p.Direction {
+		case Forward:
+			var in F
+			if b == entry {
+				in = p.Boundary
+			}
+			for _, pred := range g.Preds(b) {
+				in = p.Join(in, res.Out[pred])
+			}
+			out := p.Transfer(b, in)
+			res.In[b] = in
+			if out != res.Out[b] {
+				res.Out[b] = out
+				for _, s := range g.Succs(b) {
+					push(s)
+				}
+			}
+		case Backward:
+			var out F
+			if exits[b] {
+				out = p.Boundary
+			}
+			for _, succ := range g.Succs(b) {
+				out = p.Join(out, res.In[succ])
+			}
+			in := p.Transfer(b, out)
+			res.Out[b] = out
+			if in != res.In[b] {
+				res.In[b] = in
+				for _, pred := range g.Preds(b) {
+					push(pred)
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,158 @@
+package dataflow
+
+import (
+	"testing"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/cfg"
+	"privanalyzer/internal/ir"
+)
+
+// raisedCaps returns the union of capability sets raised in the block —
+// a tiny gen-only transfer used to exercise the solver in both directions.
+func raisedCaps(b *ir.Block) caps.Set {
+	var s caps.Set
+	for _, in := range b.Instrs {
+		sys, ok := in.(*ir.SyscallInstr)
+		if !ok || sys.Name != "priv_raise" || len(sys.Args) != 1 {
+			continue
+		}
+		s = s.Union(caps.Set(sys.Args[0].Imm))
+	}
+	return s
+}
+
+func buildBranchy(t *testing.T) *cfg.Graph {
+	t.Helper()
+	// entry -> a, b; a -> exit; b -> exit
+	// a raises CapSetuid, b raises CapChown, exit raises CapKill.
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Const("c", 1).Br(ir.R("c"), "a", "b")
+	f.Block("a").Raise(caps.NewSet(caps.CapSetuid)).Jmp("exit")
+	f.Block("b").Raise(caps.NewSet(caps.CapChown)).Jmp("exit")
+	f.Block("exit").Raise(caps.NewSet(caps.CapKill)).Ret()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.New(m.Main())
+}
+
+func unionProblem(dir Direction) Problem[caps.Set] {
+	return Problem[caps.Set]{
+		Direction: dir,
+		Join:      caps.Set.Union,
+		Transfer: func(b *ir.Block, in caps.Set) caps.Set {
+			return in.Union(raisedCaps(b))
+		},
+	}
+}
+
+func TestForwardAccumulation(t *testing.T) {
+	g := buildBranchy(t)
+	res := Solve(g, unionProblem(Forward))
+	fn := g.Fn
+
+	if got := res.In[fn.Block("entry")]; !got.IsEmpty() {
+		t.Errorf("In(entry) = %s, want empty", got)
+	}
+	if got := res.Out[fn.Block("a")]; got != caps.NewSet(caps.CapSetuid) {
+		t.Errorf("Out(a) = %s", got)
+	}
+	// exit joins both arms then adds CapKill.
+	wantIn := caps.NewSet(caps.CapSetuid, caps.CapChown)
+	if got := res.In[fn.Block("exit")]; got != wantIn {
+		t.Errorf("In(exit) = %s, want %s", got, wantIn)
+	}
+	wantOut := wantIn.Add(caps.CapKill)
+	if got := res.Out[fn.Block("exit")]; got != wantOut {
+		t.Errorf("Out(exit) = %s, want %s", got, wantOut)
+	}
+}
+
+func TestBackwardAccumulation(t *testing.T) {
+	g := buildBranchy(t)
+	res := Solve(g, unionProblem(Backward))
+	fn := g.Fn
+
+	// Backwards, In(entry) accumulates everything raised anywhere below.
+	want := caps.NewSet(caps.CapSetuid, caps.CapChown, caps.CapKill)
+	if got := res.In[fn.Block("entry")]; got != want {
+		t.Errorf("In(entry) = %s, want %s", got, want)
+	}
+	// Out(a) sees only what is raised at or after exit... plus a's own gen
+	// is in In(a), not Out(a).
+	if got := res.Out[fn.Block("a")]; got != caps.NewSet(caps.CapKill) {
+		t.Errorf("Out(a) = %s", got)
+	}
+	if got := res.In[fn.Block("a")]; got != caps.NewSet(caps.CapSetuid, caps.CapKill) {
+		t.Errorf("In(a) = %s", got)
+	}
+	if got := res.Out[fn.Block("exit")]; !got.IsEmpty() {
+		t.Errorf("Out(exit) = %s, want empty (boundary)", got)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// Facts raised inside a loop must propagate around the back edge.
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Jmp("header")
+	f.Block("header").Const("c", 1).Br(ir.R("c"), "body", "exit")
+	f.Block("body").Raise(caps.NewSet(caps.CapSetuid)).Jmp("header")
+	f.Block("exit").Ret()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.New(m.Main())
+
+	fwd := Solve(g, unionProblem(Forward))
+	// After one trip through the loop, the header's In includes CapSetuid.
+	if got := fwd.In[m.Main().Block("header")]; !got.Has(caps.CapSetuid) {
+		t.Errorf("forward In(header) = %s, want CapSetuid via back edge", got)
+	}
+
+	bwd := Solve(g, unionProblem(Backward))
+	if got := bwd.In[m.Main().Block("entry")]; !got.Has(caps.CapSetuid) {
+		t.Errorf("backward In(entry) = %s", got)
+	}
+	// Nothing is live after the loop exits.
+	if got := bwd.Out[m.Main().Block("exit")]; !got.IsEmpty() {
+		t.Errorf("backward Out(exit) = %s", got)
+	}
+}
+
+func TestBoundaryFact(t *testing.T) {
+	g := buildBranchy(t)
+	p := unionProblem(Forward)
+	p.Boundary = caps.NewSet(caps.CapNetRaw)
+	res := Solve(g, p)
+	if got := res.In[g.Fn.Block("entry")]; got != caps.NewSet(caps.CapNetRaw) {
+		t.Errorf("In(entry) = %s, want boundary", got)
+	}
+	if got := res.Out[g.Fn.Block("exit")]; !got.Has(caps.CapNetRaw) {
+		t.Errorf("Out(exit) = %s, boundary did not flow through", got)
+	}
+}
+
+func TestUnreachableBlocksIgnored(t *testing.T) {
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Jmp("exit")
+	f.Block("dead").Raise(caps.FullSet()).Jmp("exit")
+	f.Block("exit").Ret()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.New(m.Main())
+	res := Solve(g, unionProblem(Forward))
+	if got := res.In[m.Main().Block("exit")]; !got.IsEmpty() {
+		t.Errorf("In(exit) = %s; unreachable block polluted facts", got)
+	}
+	if _, ok := res.Out[m.Main().Block("dead")]; ok {
+		t.Error("dead block has facts")
+	}
+}

@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"fmt"
+
+	"privanalyzer/internal/ir"
+)
+
+// The interpreter pre-compiles each function before execution: virtual
+// registers get dense integer slots, branch targets become block indices,
+// and operands are resolved once. This keeps the per-instruction cost low
+// enough to execute the paper's largest workload (sshd's ~63M dynamic
+// instructions, Table III) in seconds.
+
+// copKind is the opcode of a compiled instruction.
+type copKind uint8
+
+const (
+	cConst copKind = iota + 1
+	cBin
+	cCmp
+	cCall
+	cCallInd
+	cSyscall
+	cBr
+	cJmp
+	cRet
+	cUnreachable
+)
+
+// cval is a pre-resolved operand: a register slot or an immediate rval.
+type cval struct {
+	reg int  // register slot when >= 0
+	val rval // immediate when reg < 0
+}
+
+// cinstr is one compiled instruction.
+type cinstr struct {
+	op    copKind
+	dst   int // destination slot, -1 for none
+	bin   ir.BinKind
+	pred  ir.CmpKind
+	x, y  cval
+	args  []cval
+	fn    string // direct-call callee or syscall name
+	t1    int    // branch target block index (then / jmp target)
+	t2    int    // else target
+	src   ir.Instr
+	hasRV bool // ret carries a value (in x)
+}
+
+// cblock is a compiled basic block.
+type cblock struct {
+	b      *ir.Block
+	instrs []cinstr
+}
+
+// cfunc is a compiled function.
+type cfunc struct {
+	fn     *ir.Function
+	nregs  int
+	params []int
+	blocks []cblock
+}
+
+// compileModule compiles every function of a verified module.
+func compileModule(m *ir.Module) (map[string]*cfunc, error) {
+	out := make(map[string]*cfunc, len(m.Funcs))
+	for _, fn := range m.Funcs {
+		cf, err := compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		out[fn.Name] = cf
+	}
+	return out, nil
+}
+
+func compileFunc(fn *ir.Function) (*cfunc, error) {
+	cf := &cfunc{fn: fn}
+	slots := make(map[string]int)
+	slot := func(name string) int {
+		if s, ok := slots[name]; ok {
+			return s
+		}
+		s := len(slots)
+		slots[name] = s
+		return s
+	}
+	blockIdx := make(map[string]int, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		blockIdx[b.Name] = i
+	}
+	for _, p := range fn.Params {
+		cf.params = append(cf.params, slot(p))
+	}
+
+	cvalOf := func(v ir.Value) (cval, error) {
+		switch v.Kind {
+		case ir.Reg:
+			return cval{reg: slot(v.Reg)}, nil
+		case ir.Imm:
+			return cval{reg: -1, val: intVal(v.Imm)}, nil
+		case ir.FuncRef:
+			return cval{reg: -1, val: fnVal(v.Fn)}, nil
+		case ir.Str:
+			return cval{reg: -1, val: strVal(v.Str)}, nil
+		default:
+			return cval{}, fmt.Errorf("%w: zero operand in @%s", ErrRuntime, fn.Name)
+		}
+	}
+	cvals := func(vs []ir.Value) ([]cval, error) {
+		out := make([]cval, len(vs))
+		for i, v := range vs {
+			cv, err := cvalOf(v)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = cv
+		}
+		return out, nil
+	}
+	dstOf := func(name string) int {
+		if name == "" {
+			return -1
+		}
+		return slot(name)
+	}
+
+	for _, b := range fn.Blocks {
+		cb := cblock{b: b, instrs: make([]cinstr, 0, len(b.Instrs))}
+		for _, in := range b.Instrs {
+			ci := cinstr{src: in, dst: -1, t1: -1, t2: -1}
+			var err error
+			switch in := in.(type) {
+			case *ir.ConstInstr:
+				ci.op = cConst
+				ci.dst = dstOf(in.Dst)
+				ci.x = cval{reg: -1, val: intVal(in.Val)}
+			case *ir.BinInstr:
+				ci.op = cBin
+				ci.dst = dstOf(in.Dst)
+				ci.bin = in.Op
+				if ci.x, err = cvalOf(in.X); err != nil {
+					return nil, err
+				}
+				if ci.y, err = cvalOf(in.Y); err != nil {
+					return nil, err
+				}
+			case *ir.CmpInstr:
+				ci.op = cCmp
+				ci.dst = dstOf(in.Dst)
+				ci.pred = in.Pred
+				if ci.x, err = cvalOf(in.X); err != nil {
+					return nil, err
+				}
+				if ci.y, err = cvalOf(in.Y); err != nil {
+					return nil, err
+				}
+			case *ir.CallInstr:
+				ci.op = cCall
+				ci.dst = dstOf(in.Dst)
+				ci.fn = in.Callee
+				if ci.args, err = cvals(in.Args); err != nil {
+					return nil, err
+				}
+			case *ir.CallIndInstr:
+				ci.op = cCallInd
+				ci.dst = dstOf(in.Dst)
+				if ci.x, err = cvalOf(in.Fp); err != nil {
+					return nil, err
+				}
+				if ci.args, err = cvals(in.Args); err != nil {
+					return nil, err
+				}
+			case *ir.SyscallInstr:
+				ci.op = cSyscall
+				ci.dst = dstOf(in.Dst)
+				ci.fn = in.Name
+				if ci.args, err = cvals(in.Args); err != nil {
+					return nil, err
+				}
+			case *ir.BrInstr:
+				ci.op = cBr
+				if ci.x, err = cvalOf(in.Cond); err != nil {
+					return nil, err
+				}
+				ci.t1 = blockIdx[in.Then]
+				ci.t2 = blockIdx[in.Else]
+			case *ir.JmpInstr:
+				ci.op = cJmp
+				ci.t1 = blockIdx[in.Target]
+			case *ir.RetInstr:
+				ci.op = cRet
+				if !in.Val.IsZero() {
+					ci.hasRV = true
+					if ci.x, err = cvalOf(in.Val); err != nil {
+						return nil, err
+					}
+				}
+			case *ir.UnreachableInstr:
+				ci.op = cUnreachable
+			default:
+				return nil, fmt.Errorf("%w: unknown instruction %T", ErrRuntime, in)
+			}
+			cb.instrs = append(cb.instrs, ci)
+		}
+		cf.blocks = append(cf.blocks, cb)
+	}
+	cf.nregs = len(slots)
+	return cf, nil
+}

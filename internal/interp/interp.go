@@ -1,0 +1,435 @@
+// Package interp executes IR modules against a simulated kernel. It is the
+// dynamic-execution substrate ChronoPriv measures: each counted instruction
+// fires a step hook carrying the process's current measurement phase
+// (permitted privilege set plus the six user/group IDs), and syscall
+// instructions are dispatched to the vkernel, which enforces the same
+// capability and DAC semantics the ROSA model checker reasons about.
+//
+// Functions are pre-compiled to a register-slot form (see compile.go) so
+// that the paper's largest dynamic workload — sshd's ~63M instructions in
+// Table III — executes in seconds.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/vkernel"
+)
+
+// Interpreter failure modes.
+var (
+	// ErrOutOfFuel means the run exceeded Options.Fuel dynamic instructions.
+	ErrOutOfFuel = errors.New("interp: out of fuel")
+	// ErrUnreachable means the program executed an unreachable instruction,
+	// which terminates the program (LLVM semantics; the paper's ChronoPriv
+	// omits unreachable from its counts for the same reason).
+	ErrUnreachable = errors.New("interp: executed unreachable")
+	// ErrRuntime wraps all other dynamic failures (undefined registers,
+	// division by zero, bad indirect call, stack overflow).
+	ErrRuntime = errors.New("interp: runtime error")
+)
+
+// defaultFuel bounds runs that forget to set Options.Fuel.
+const defaultFuel = int64(1_000_000_000)
+
+// maxCallDepth bounds recursion.
+const maxCallDepth = 10_000
+
+// StepHook observes one counted instruction about to execute. phase is the
+// process's measurement phase before the instruction runs.
+type StepHook func(fn *ir.Function, blk *ir.Block, in ir.Instr, phase caps.PhaseKey)
+
+// Interceptor may claim a syscall before the kernel sees it; ChronoPriv's
+// runtime uses this for its instrumentation markers. Returning handled=false
+// passes the call through to the kernel.
+type Interceptor func(name string, args []vkernel.Arg) (handled bool, ret int64, err error)
+
+// Options configures a run.
+type Options struct {
+	// Fuel bounds the number of dynamic instructions; 0 means a large
+	// default.
+	Fuel int64
+	// MainArgs binds the parameters of main, in order; missing ones are 0.
+	MainArgs []int64
+	// OnStep, if set, observes every counted instruction.
+	OnStep StepHook
+	// Intercept, if set, may claim syscalls before kernel dispatch.
+	// Intercepted syscalls are not counted as executed instructions.
+	Intercept Interceptor
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Ret is main's return value (0 for a void return or exit).
+	Ret int64
+	// Steps is the number of counted instructions executed.
+	Steps int64
+	// Exited reports whether the program ended via the exit syscall rather
+	// than returning from main.
+	Exited bool
+}
+
+// rkind discriminates runtime values.
+type rkind uint8
+
+const (
+	rInt rkind = iota + 1
+	rStr
+	rFn
+)
+
+// rval is a runtime value: an integer, a string, or a function reference.
+type rval struct {
+	kind rkind
+	i    int64
+	s    string
+	fn   string
+}
+
+func intVal(v int64) rval    { return rval{kind: rInt, i: v} }
+func strVal(s string) rval   { return rval{kind: rStr, s: s} }
+func fnVal(name string) rval { return rval{kind: rFn, fn: name} }
+
+// machine is the per-run interpreter state.
+type machine struct {
+	m      *ir.Module
+	code   map[string]*cfunc
+	k      *vkernel.Kernel
+	opts   Options
+	fuel   int64
+	steps  int64
+	depth  int
+	exited bool
+}
+
+// Run executes module m's main function on kernel k. The kernel must have a
+// current process (the program under measurement). The module must verify.
+func Run(m *ir.Module, k *vkernel.Kernel, opts Options) (*Result, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	main := m.Main()
+	if main == nil {
+		return nil, fmt.Errorf("%w: module %q has no main", ErrRuntime, m.Name)
+	}
+	if k.Current() == nil {
+		return nil, fmt.Errorf("%w: kernel has no current process", ErrRuntime)
+	}
+	code, err := compileModule(m)
+	if err != nil {
+		return nil, err
+	}
+	vm := &machine{m: m, code: code, k: k, opts: opts, fuel: opts.Fuel}
+	if vm.fuel <= 0 {
+		vm.fuel = defaultFuel
+	}
+	cf := code["main"]
+	args := make([]rval, len(main.Params))
+	for i := range main.Params {
+		if i < len(opts.MainArgs) {
+			args[i] = intVal(opts.MainArgs[i])
+		} else {
+			args[i] = intVal(0)
+		}
+	}
+	ret, err := vm.call(cf, args)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Steps: vm.steps, Exited: vm.exited}
+	if ret.kind == rInt {
+		res.Ret = ret.i
+	}
+	return res, nil
+}
+
+// eval resolves a pre-compiled operand. It is small enough to inline; the
+// error construction lives in undefErr to keep it that way.
+func (vm *machine) eval(cv cval, regs []rval, cf *cfunc) (rval, error) {
+	if cv.reg < 0 {
+		return cv.val, nil
+	}
+	v := regs[cv.reg]
+	if v.kind == 0 {
+		return rval{}, undefErr(cf)
+	}
+	return v, nil
+}
+
+func undefErr(cf *cfunc) error {
+	return fmt.Errorf("%w: undefined register in @%s", ErrRuntime, cf.fn.Name)
+}
+
+// call executes one compiled function to completion.
+func (vm *machine) call(cf *cfunc, args []rval) (rval, error) {
+	if vm.depth >= maxCallDepth {
+		return rval{}, fmt.Errorf("%w: call depth exceeded in @%s", ErrRuntime, cf.fn.Name)
+	}
+	vm.depth++
+	defer func() { vm.depth-- }()
+
+	regs := make([]rval, cf.nregs)
+	for i, slot := range cf.params {
+		if i < len(args) {
+			regs[slot] = args[i]
+		} else {
+			regs[slot] = intVal(0)
+		}
+	}
+
+	hook := vm.opts.OnStep
+	bi := 0
+block:
+	for {
+		cb := &cf.blocks[bi]
+		for ii := range cb.instrs {
+			in := &cb.instrs[ii]
+
+			// Instrumentation markers claimed by the interceptor are
+			// invisible to counting and to the kernel.
+			if in.op == cSyscall && vm.opts.Intercept != nil {
+				kargs, err := vm.kernelArgs(in.args, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				handled, r, herr := vm.opts.Intercept(in.fn, kargs)
+				if herr != nil {
+					return rval{}, fmt.Errorf("%w: interceptor: %v", ErrRuntime, herr)
+				}
+				if handled {
+					if in.dst >= 0 {
+						regs[in.dst] = intVal(r)
+					}
+					continue
+				}
+			}
+
+			if in.op == cUnreachable {
+				return rval{}, fmt.Errorf("%w at @%s:%s", ErrUnreachable, cf.fn.Name, cb.b.Name)
+			}
+			if vm.steps >= vm.fuel {
+				return rval{}, fmt.Errorf("%w after %d instructions", ErrOutOfFuel, vm.steps)
+			}
+			if hook != nil {
+				hook(cf.fn, cb.b, in.src, vm.k.Current().Creds.Phase())
+			}
+			vm.steps++
+
+			switch in.op {
+			case cConst:
+				if in.dst >= 0 {
+					regs[in.dst] = in.x.val
+				}
+			case cBin:
+				x, err := vm.eval(in.x, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				y, err := vm.eval(in.y, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				v, err := evalBin(in.bin, x, y)
+				if err != nil {
+					return rval{}, err
+				}
+				if in.dst >= 0 {
+					regs[in.dst] = v
+				}
+			case cCmp:
+				x, err := vm.eval(in.x, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				y, err := vm.eval(in.y, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				if x.kind != rInt || y.kind != rInt {
+					return rval{}, fmt.Errorf("%w: cmp on non-integer operands", ErrRuntime)
+				}
+				var b bool
+				switch in.pred {
+				case ir.Eq:
+					b = x.i == y.i
+				case ir.Ne:
+					b = x.i != y.i
+				case ir.Lt:
+					b = x.i < y.i
+				case ir.Le:
+					b = x.i <= y.i
+				case ir.Gt:
+					b = x.i > y.i
+				case ir.Ge:
+					b = x.i >= y.i
+				default:
+					return rval{}, fmt.Errorf("%w: unknown predicate", ErrRuntime)
+				}
+				if in.dst >= 0 {
+					if b {
+						regs[in.dst] = intVal(1)
+					} else {
+						regs[in.dst] = intVal(0)
+					}
+				}
+			case cCall:
+				r, err := vm.dispatchCall(vm.code[in.fn], in, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				if vm.exited {
+					return rval{}, nil
+				}
+				if in.dst >= 0 {
+					regs[in.dst] = r
+				}
+			case cCallInd:
+				fp, err := vm.eval(in.x, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				if fp.kind != rFn {
+					return rval{}, fmt.Errorf("%w: indirect call through non-function value in @%s", ErrRuntime, cf.fn.Name)
+				}
+				callee := vm.code[fp.fn]
+				if callee == nil {
+					return rval{}, fmt.Errorf("%w: indirect call to undefined @%s", ErrRuntime, fp.fn)
+				}
+				r, err := vm.dispatchCall(callee, in, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				if vm.exited {
+					return rval{}, nil
+				}
+				if in.dst >= 0 {
+					regs[in.dst] = r
+				}
+			case cSyscall:
+				kargs, err := vm.kernelArgs(in.args, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				r, err := vm.k.Invoke(in.fn, kargs)
+				if err != nil {
+					return rval{}, fmt.Errorf("%w: syscall %s: %v", ErrRuntime, in.fn, err)
+				}
+				if in.dst >= 0 {
+					regs[in.dst] = intVal(r)
+				}
+				if in.fn == "exit" {
+					vm.exited = true
+					return rval{}, nil
+				}
+			case cBr:
+				c, err := vm.eval(in.x, regs, cf)
+				if err != nil {
+					return rval{}, err
+				}
+				if c.kind != rInt {
+					return rval{}, fmt.Errorf("%w: branch on non-integer in @%s", ErrRuntime, cf.fn.Name)
+				}
+				if c.i != 0 {
+					bi = in.t1
+				} else {
+					bi = in.t2
+				}
+				continue block
+			case cJmp:
+				bi = in.t1
+				continue block
+			case cRet:
+				if !in.hasRV {
+					return intVal(0), nil
+				}
+				return vm.eval(in.x, regs, cf)
+			}
+		}
+		return rval{}, fmt.Errorf("%w: block @%s:%s fell through", ErrRuntime, cf.fn.Name, cb.b.Name)
+	}
+}
+
+// dispatchCall evaluates call arguments and invokes the callee.
+func (vm *machine) dispatchCall(callee *cfunc, in *cinstr, regs []rval, cf *cfunc) (rval, error) {
+	args := make([]rval, len(in.args))
+	for i, a := range in.args {
+		v, err := vm.eval(a, regs, cf)
+		if err != nil {
+			return rval{}, err
+		}
+		args[i] = v
+	}
+	return vm.call(callee, args)
+}
+
+// kernelArgs converts operands to kernel syscall arguments. Function
+// references become string arguments carrying the function name (used by the
+// signal syscall's handler argument).
+func (vm *machine) kernelArgs(cvs []cval, regs []rval, cf *cfunc) ([]vkernel.Arg, error) {
+	out := make([]vkernel.Arg, len(cvs))
+	for i, cv := range cvs {
+		v, err := vm.eval(cv, regs, cf)
+		if err != nil {
+			return nil, err
+		}
+		switch v.kind {
+		case rInt:
+			out[i] = vkernel.IntArg(v.i)
+		case rStr:
+			out[i] = vkernel.StrArg(v.s)
+		case rFn:
+			out[i] = vkernel.StrArg("@" + v.fn)
+		}
+	}
+	return out, nil
+}
+
+// evalBin applies a binary operation. Function-pointer arithmetic (fn + 0)
+// keeps the reference, supporting the address-taken idiom used by
+// indirect-call models.
+func evalBin(op ir.BinKind, x, y rval) (rval, error) {
+	if op == ir.Add {
+		if x.kind == rFn && y.kind == rInt && y.i == 0 {
+			return x, nil
+		}
+		if y.kind == rFn && x.kind == rInt && x.i == 0 {
+			return y, nil
+		}
+	}
+	if x.kind != rInt || y.kind != rInt {
+		return rval{}, fmt.Errorf("%w: %s on non-integer operands", ErrRuntime, op)
+	}
+	switch op {
+	case ir.Add:
+		return intVal(x.i + y.i), nil
+	case ir.Sub:
+		return intVal(x.i - y.i), nil
+	case ir.Mul:
+		return intVal(x.i * y.i), nil
+	case ir.Div:
+		if y.i == 0 {
+			return rval{}, fmt.Errorf("%w: division by zero", ErrRuntime)
+		}
+		return intVal(x.i / y.i), nil
+	case ir.Rem:
+		if y.i == 0 {
+			return rval{}, fmt.Errorf("%w: remainder by zero", ErrRuntime)
+		}
+		return intVal(x.i % y.i), nil
+	case ir.And:
+		return intVal(x.i & y.i), nil
+	case ir.Or:
+		return intVal(x.i | y.i), nil
+	case ir.Xor:
+		return intVal(x.i ^ y.i), nil
+	case ir.Shl:
+		return intVal(x.i << (uint64(y.i) & 63)), nil
+	case ir.Shr:
+		return intVal(x.i >> (uint64(y.i) & 63)), nil
+	default:
+		return rval{}, fmt.Errorf("%w: unknown binary op", ErrRuntime)
+	}
+}

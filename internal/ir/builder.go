@@ -1,0 +1,188 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+
+	"privanalyzer/internal/caps"
+)
+
+// Builder constructs a Module with a fluent API. Construction errors
+// (duplicate names, unterminated blocks) are accumulated and reported once
+// by Build, so call sites stay linear. Program models in internal/programs
+// are written against this API.
+type Builder struct {
+	m    *Module
+	errs []error
+	tmp  int
+}
+
+// NewModuleBuilder returns a builder for a module with the given name.
+func NewModuleBuilder(name string) *Builder {
+	return &Builder{m: NewModule(name)}
+}
+
+// Func starts a new function and returns its builder.
+func (b *Builder) Func(name string, params ...string) *FuncBuilder {
+	fn := NewFunction(name, params...)
+	if err := b.m.AddFunc(fn); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return &FuncBuilder{mb: b, fn: fn}
+}
+
+// OnSignal registers handler as the module's handler for the given signal
+// number (the static counterpart of the "signal" syscall).
+func (b *Builder) OnSignal(sig int, handler string) *Builder {
+	b.m.SignalHandlers[sig] = handler
+	return b
+}
+
+// fresh returns a unique temporary register name.
+func (b *Builder) fresh() string {
+	b.tmp++
+	return fmt.Sprintf("t%d", b.tmp)
+}
+
+// Build verifies and returns the constructed module.
+func (b *Builder) Build() (*Module, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if err := b.m.Verify(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build for static program models whose shape is fixed at
+// compile time; it panics on verification failure.
+func (b *Builder) MustBuild() *Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FuncBuilder builds one function.
+type FuncBuilder struct {
+	mb *Builder
+	fn *Function
+}
+
+// Block starts a new basic block and returns its builder. The first block
+// created is the function's entry block.
+func (f *FuncBuilder) Block(name string) *BlockBuilder {
+	blk := &Block{Name: name}
+	if err := f.fn.AddBlock(blk); err != nil {
+		f.mb.errs = append(f.mb.errs, err)
+	}
+	return &BlockBuilder{mb: f.mb, b: blk}
+}
+
+// BlockBuilder appends instructions to one basic block.
+type BlockBuilder struct {
+	mb *Builder
+	b  *Block
+}
+
+// Name returns the block's label, for use as a branch target.
+func (bb *BlockBuilder) Name() string { return bb.b.Name }
+
+func (bb *BlockBuilder) emit(in Instr) *BlockBuilder {
+	bb.b.Instrs = append(bb.b.Instrs, in)
+	return bb
+}
+
+// Const emits %dst = const v.
+func (bb *BlockBuilder) Const(dst string, v int64) *BlockBuilder {
+	return bb.emit(&ConstInstr{Dst: dst, Val: v})
+}
+
+// Bin emits %dst = op x, y.
+func (bb *BlockBuilder) Bin(dst string, op BinKind, x, y Value) *BlockBuilder {
+	return bb.emit(&BinInstr{Dst: dst, Op: op, X: x, Y: y})
+}
+
+// Cmp emits %dst = cmp pred, x, y.
+func (bb *BlockBuilder) Cmp(dst string, pred CmpKind, x, y Value) *BlockBuilder {
+	return bb.emit(&CmpInstr{Dst: dst, Pred: pred, X: x, Y: y})
+}
+
+// Call emits a direct call whose result is discarded.
+func (bb *BlockBuilder) Call(callee string, args ...Value) *BlockBuilder {
+	return bb.emit(&CallInstr{Callee: callee, Args: args})
+}
+
+// CallTo emits %dst = call @callee(args...).
+func (bb *BlockBuilder) CallTo(dst, callee string, args ...Value) *BlockBuilder {
+	return bb.emit(&CallInstr{Dst: dst, Callee: callee, Args: args})
+}
+
+// CallInd emits an indirect call through fp whose result is discarded.
+func (bb *BlockBuilder) CallInd(fp Value, args ...Value) *BlockBuilder {
+	return bb.emit(&CallIndInstr{Fp: fp, Args: args})
+}
+
+// Syscall emits a syscall whose result is discarded.
+func (bb *BlockBuilder) Syscall(name string, args ...Value) *BlockBuilder {
+	return bb.emit(&SyscallInstr{Name: name, Args: args})
+}
+
+// SyscallTo emits %dst = syscall name(args...).
+func (bb *BlockBuilder) SyscallTo(dst, name string, args ...Value) *BlockBuilder {
+	return bb.emit(&SyscallInstr{Dst: dst, Name: name, Args: args})
+}
+
+// Raise emits the AutoPriv priv_raise wrapper for the given capability set.
+func (bb *BlockBuilder) Raise(s caps.Set) *BlockBuilder {
+	return bb.Syscall("priv_raise", I(int64(s)))
+}
+
+// Lower emits the AutoPriv priv_lower wrapper for the given capability set.
+func (bb *BlockBuilder) Lower(s caps.Set) *BlockBuilder {
+	return bb.Syscall("priv_lower", I(int64(s)))
+}
+
+// Remove emits the AutoPriv priv_remove wrapper for the given capability
+// set. AutoPriv inserts these automatically; program models only emit them
+// directly in tests.
+func (bb *BlockBuilder) Remove(s caps.Set) *BlockBuilder {
+	return bb.Syscall("priv_remove", I(int64(s)))
+}
+
+// Compute emits n filler arithmetic instructions (a chain of adds into a
+// scratch register). Program models use it to give phases realistic dynamic
+// instruction counts; each call contributes exactly n counted instructions
+// when the block executes.
+func (bb *BlockBuilder) Compute(n int) *BlockBuilder {
+	if n <= 0 {
+		return bb
+	}
+	scratch := bb.mb.fresh()
+	bb.Const(scratch, 0)
+	for i := 1; i < n; i++ {
+		bb.Bin(scratch, Add, R(scratch), I(1))
+	}
+	return bb
+}
+
+// Br emits a conditional branch terminator.
+func (bb *BlockBuilder) Br(cond Value, then, els string) *BlockBuilder {
+	return bb.emit(&BrInstr{Cond: cond, Then: then, Else: els})
+}
+
+// Jmp emits an unconditional branch terminator.
+func (bb *BlockBuilder) Jmp(target string) *BlockBuilder {
+	return bb.emit(&JmpInstr{Target: target})
+}
+
+// Ret emits a void return.
+func (bb *BlockBuilder) Ret() *BlockBuilder { return bb.emit(&RetInstr{}) }
+
+// RetVal emits a return with a value.
+func (bb *BlockBuilder) RetVal(v Value) *BlockBuilder { return bb.emit(&RetInstr{Val: v}) }
+
+// Unreachable emits an unreachable terminator.
+func (bb *BlockBuilder) Unreachable() *BlockBuilder { return bb.emit(&UnreachableInstr{}) }

@@ -1,0 +1,52 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the IR parser never panics and that anything it
+// accepts round-trips through the printer.
+func FuzzParse(f *testing.F) {
+	f.Add("module \"m\"\n\nfunc @main() {\nentry:\n  ret\n}\n")
+	f.Add("module \"m\"\nsighandler 15 @h\nfunc @h() {\nentry:\n  ret\n}\n")
+	f.Add("module \"m\"\nfunc @f(%a, %b) {\nentry:\n  %x = add %a, %b\n  %c = cmp lt, %x, 3\n  br %c, t, e\nt:\n  ret %x\ne:\n  unreachable\n}\n")
+	f.Add("module \"m\"\nfunc @main() {\nentry:\n  %fd = syscall open(\"/dev/mem\", 2)\n  calli %fd(1)\n  jmp entry\n}\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, text)
+		}
+		if got := m2.String(); got != text {
+			t.Fatalf("round trip not stable:\n%s\nvs\n%s", text, got)
+		}
+	})
+}
+
+// FuzzParseValueish drives the instruction-level parser through arbitrary
+// single-instruction bodies.
+func FuzzParseValueish(f *testing.F) {
+	for _, body := range []string{
+		"%x = const 5", "ret", "jmp b", "unreachable",
+		"%x = syscall kill(9, -1)", "%y = calli %x(%x, 2)",
+	} {
+		f.Add(body)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "module \"m\"\nfunc @main() {\nentry:\n  " +
+			strings.ReplaceAll(body, "\n", " ") + "\n  ret\n}\n"
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(m.String()); err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+	})
+}

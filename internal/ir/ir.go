@@ -1,0 +1,307 @@
+// Package ir defines the compiler intermediate representation on which
+// PrivAnalyzer's analyses operate. It plays the role LLVM IR plays in the
+// paper: programs are modules of functions made of basic blocks of typed
+// instructions, AutoPriv's static analysis runs over it, ChronoPriv's
+// instrumentation pass rewrites it, and the interpreter in internal/interp
+// executes it.
+//
+// The IR is a register machine: instructions read operands (virtual
+// registers, integer immediates, string literals, or function references)
+// and most write a destination register. Every basic block ends in exactly
+// one terminator (br, jmp, ret, or unreachable). Programs interact with the
+// simulated operating system exclusively through syscall instructions.
+//
+// The package provides a verifier (Module.Verify), a canonical text printer
+// (Module.String), a parser for that text format (Parse), and a fluent
+// builder (NewModuleBuilder).
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates the operand kinds an instruction may reference.
+type ValueKind uint8
+
+// Operand kinds.
+const (
+	// Reg is a virtual register operand, printed as %name.
+	Reg ValueKind = iota + 1
+	// Imm is a 64-bit integer immediate.
+	Imm
+	// FuncRef is the address of a function, printed as @name; it is how
+	// indirect-call targets enter registers.
+	FuncRef
+	// Str is a string literal operand, used for syscall arguments such as
+	// file paths.
+	Str
+)
+
+// Value is an instruction operand.
+type Value struct {
+	Kind ValueKind
+	Reg  string // register name when Kind == Reg
+	Imm  int64  // immediate value when Kind == Imm
+	Fn   string // function name when Kind == FuncRef
+	Str  string // literal when Kind == Str
+}
+
+// R returns a register operand.
+func R(name string) Value { return Value{Kind: Reg, Reg: name} }
+
+// I returns an integer immediate operand.
+func I(v int64) Value { return Value{Kind: Imm, Imm: v} }
+
+// F returns a function-reference operand.
+func F(name string) Value { return Value{Kind: FuncRef, Fn: name} }
+
+// S returns a string literal operand.
+func S(s string) Value { return Value{Kind: Str, Str: s} }
+
+// IsZero reports whether v is the zero Value (no operand).
+func (v Value) IsZero() bool { return v.Kind == 0 }
+
+// String renders the operand in the IR text syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case Reg:
+		return "%" + v.Reg
+	case Imm:
+		return strconv.FormatInt(v.Imm, 10)
+	case FuncRef:
+		return "@" + v.Fn
+	case Str:
+		return strconv.Quote(v.Str)
+	default:
+		return "<zero>"
+	}
+}
+
+// BinKind enumerates binary arithmetic/logic operations.
+type BinKind uint8
+
+// Binary operation kinds.
+const (
+	Add BinKind = iota + 1
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+)
+
+var binNames = map[BinKind]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+}
+
+// String returns the mnemonic, e.g. "add".
+func (k BinKind) String() string {
+	if s, ok := binNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("bin(%d)", uint8(k))
+}
+
+// CmpKind enumerates comparison predicates.
+type CmpKind uint8
+
+// Comparison predicates.
+const (
+	Eq CmpKind = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+var cmpNames = map[CmpKind]string{
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+}
+
+// String returns the predicate mnemonic, e.g. "lt".
+func (k CmpKind) String() string {
+	if s, ok := cmpNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(k))
+}
+
+// Instr is implemented by every IR instruction.
+type Instr interface {
+	// String renders the instruction in the IR text syntax (without
+	// indentation).
+	String() string
+	// isInstr restricts implementations to this package.
+	isInstr()
+}
+
+// Terminator is implemented by instructions that may end a basic block.
+type Terminator interface {
+	Instr
+	// Successors returns the names of the blocks control may transfer to.
+	Successors() []string
+}
+
+// ConstInstr materialises an integer constant: %dst = const N.
+type ConstInstr struct {
+	Dst string
+	Val int64
+}
+
+// BinInstr is a binary operation: %dst = add %x, %y.
+type BinInstr struct {
+	Dst  string
+	Op   BinKind
+	X, Y Value
+}
+
+// CmpInstr is a comparison producing 0 or 1: %dst = cmp lt, %x, %y.
+type CmpInstr struct {
+	Dst  string
+	Pred CmpKind
+	X, Y Value
+}
+
+// CallInstr is a direct call: %dst = call @f(%a, %b). Dst may be empty when
+// the result is discarded.
+type CallInstr struct {
+	Dst    string
+	Callee string
+	Args   []Value
+}
+
+// CallIndInstr is an indirect call through a register holding a function
+// reference: %dst = calli %fp(%a). The callee set is what AutoPriv's
+// call-graph over-approximation must bound.
+type CallIndInstr struct {
+	Dst  string
+	Fp   Value
+	Args []Value
+}
+
+// SyscallInstr traps into the simulated kernel: %dst = syscall open(...).
+// All interaction with the OS — including the priv_raise / priv_lower /
+// priv_remove privilege wrappers — is expressed as syscalls.
+type SyscallInstr struct {
+	Dst  string
+	Name string
+	Args []Value
+}
+
+// BrInstr is a conditional branch: br %c, then, else.
+type BrInstr struct {
+	Cond Value
+	Then string
+	Else string
+}
+
+// JmpInstr is an unconditional branch: jmp target.
+type JmpInstr struct {
+	Target string
+}
+
+// RetInstr returns from the current function, optionally with a value.
+type RetInstr struct {
+	Val Value // zero Value for a void return
+}
+
+// UnreachableInstr marks a point that terminates the program if executed.
+// ChronoPriv omits unreachable instructions from its counts (paper §VI).
+type UnreachableInstr struct{}
+
+func (*ConstInstr) isInstr()       {}
+func (*BinInstr) isInstr()         {}
+func (*CmpInstr) isInstr()         {}
+func (*CallInstr) isInstr()        {}
+func (*CallIndInstr) isInstr()     {}
+func (*SyscallInstr) isInstr()     {}
+func (*BrInstr) isInstr()          {}
+func (*JmpInstr) isInstr()         {}
+func (*RetInstr) isInstr()         {}
+func (*UnreachableInstr) isInstr() {}
+
+// Successors implements Terminator.
+func (i *BrInstr) Successors() []string { return []string{i.Then, i.Else} }
+
+// Successors implements Terminator.
+func (i *JmpInstr) Successors() []string { return []string{i.Target} }
+
+// Successors implements Terminator.
+func (*RetInstr) Successors() []string { return nil }
+
+// Successors implements Terminator.
+func (*UnreachableInstr) Successors() []string { return nil }
+
+func argList(args []Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String implements Instr.
+func (i *ConstInstr) String() string {
+	return fmt.Sprintf("%%%s = const %d", i.Dst, i.Val)
+}
+
+// String implements Instr.
+func (i *BinInstr) String() string {
+	return fmt.Sprintf("%%%s = %s %s, %s", i.Dst, i.Op, i.X, i.Y)
+}
+
+// String implements Instr.
+func (i *CmpInstr) String() string {
+	return fmt.Sprintf("%%%s = cmp %s, %s, %s", i.Dst, i.Pred, i.X, i.Y)
+}
+
+// String implements Instr.
+func (i *CallInstr) String() string {
+	if i.Dst == "" {
+		return fmt.Sprintf("call @%s(%s)", i.Callee, argList(i.Args))
+	}
+	return fmt.Sprintf("%%%s = call @%s(%s)", i.Dst, i.Callee, argList(i.Args))
+}
+
+// String implements Instr.
+func (i *CallIndInstr) String() string {
+	if i.Dst == "" {
+		return fmt.Sprintf("calli %s(%s)", i.Fp, argList(i.Args))
+	}
+	return fmt.Sprintf("%%%s = calli %s(%s)", i.Dst, i.Fp, argList(i.Args))
+}
+
+// String implements Instr.
+func (i *SyscallInstr) String() string {
+	if i.Dst == "" {
+		return fmt.Sprintf("syscall %s(%s)", i.Name, argList(i.Args))
+	}
+	return fmt.Sprintf("%%%s = syscall %s(%s)", i.Dst, i.Name, argList(i.Args))
+}
+
+// String implements Instr.
+func (i *BrInstr) String() string {
+	return fmt.Sprintf("br %s, %s, %s", i.Cond, i.Then, i.Else)
+}
+
+// String implements Instr.
+func (i *JmpInstr) String() string { return "jmp " + i.Target }
+
+// String implements Instr.
+func (i *RetInstr) String() string {
+	if i.Val.IsZero() {
+		return "ret"
+	}
+	return "ret " + i.Val.String()
+}
+
+// String implements Instr.
+func (*UnreachableInstr) String() string { return "unreachable" }

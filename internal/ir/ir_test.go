@@ -1,0 +1,297 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"privanalyzer/internal/caps"
+)
+
+// buildSample constructs a small two-function module exercising every
+// instruction kind.
+func buildSample(t *testing.T) *Module {
+	t.Helper()
+	b := NewModuleBuilder("sample")
+	b.OnSignal(15, "handler")
+
+	f := b.Func("main", "argc")
+	entry := f.Block("entry")
+	entry.Const("x", 10).
+		Bin("y", Add, R("x"), I(32)).
+		Cmp("c", Lt, R("y"), R("argc")).
+		Br(R("c"), "then", "else")
+	f.Block("then").
+		CallTo("r", "helper", R("y")).
+		Jmp("exit")
+	f.Block("else").
+		Const("fp", 0).
+		Bin("fp2", Add, F("helper"), I(0)).
+		CallInd(R("fp2"), I(7)).
+		SyscallTo("fd", "open", S("/etc/passwd"), I(0)).
+		Jmp("exit")
+	f.Block("exit").
+		Raise(caps.NewSet(caps.CapSetuid)).
+		Lower(caps.NewSet(caps.CapSetuid)).
+		RetVal(R("y"))
+
+	h := b.Func("helper", "n")
+	h.Block("entry").
+		Bin("m", Mul, R("n"), I(2)).
+		RetVal(R("m"))
+
+	hd := b.Func("handler")
+	hd.Block("entry").Ret()
+
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	m := buildSample(t)
+	if m.Func("helper") == nil || m.Main() == nil {
+		t.Fatal("missing functions")
+	}
+	if got := len(m.Main().Blocks); got != 4 {
+		t.Errorf("main blocks = %d, want 4", got)
+	}
+	if m.SignalHandlers[15] != "handler" {
+		t.Errorf("signal handler = %q", m.SignalHandlers[15])
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := buildSample(t)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse:\n%s\nerror: %v", text, err)
+	}
+	if got := m2.String(); got != text {
+		t.Errorf("round trip mismatch:\n--- printed\n%s\n--- reparsed\n%s", text, got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"no module header", "func @main() {\nentry:\n  ret\n}\n"},
+		{"bad instruction", "module \"m\"\nfunc @main() {\nentry:\n  frobnicate\n}\n"},
+		{"instruction outside block", "module \"m\"\nfunc @main() {\n  ret\n}\n"},
+		{"undefined branch target", "module \"m\"\nfunc @main() {\nentry:\n  jmp nowhere\n}\n"},
+		{"undefined callee", "module \"m\"\nfunc @main() {\nentry:\n  call @ghost()\n  ret\n}\n"},
+		{"duplicate function", "module \"m\"\nfunc @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n"},
+		{"bad operand", "module \"m\"\nfunc @main() {\nentry:\n  %x = add $1, 2\n  ret\n}\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Errorf("Parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestVerifyRules(t *testing.T) {
+	t.Run("unterminated block", func(t *testing.T) {
+		m := NewModule("m")
+		fn := NewFunction("main")
+		if err := m.AddFunc(fn); err != nil {
+			t.Fatal(err)
+		}
+		blk := &Block{Name: "entry", Instrs: []Instr{&ConstInstr{Dst: "x", Val: 1}}}
+		if err := fn.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Verify(); !errors.Is(err, ErrInvalidModule) {
+			t.Errorf("err = %v, want ErrInvalidModule", err)
+		}
+	})
+	t.Run("terminator mid-block", func(t *testing.T) {
+		m := NewModule("m")
+		fn := NewFunction("main")
+		if err := m.AddFunc(fn); err != nil {
+			t.Fatal(err)
+		}
+		blk := &Block{Name: "entry", Instrs: []Instr{&RetInstr{}, &RetInstr{}}}
+		if err := fn.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Verify(); !errors.Is(err, ErrInvalidModule) {
+			t.Errorf("err = %v, want ErrInvalidModule", err)
+		}
+	})
+	t.Run("arity mismatch", func(t *testing.T) {
+		src := `module "m"
+func @f(%a, %b) {
+entry:
+  ret
+}
+func @main() {
+entry:
+  call @f(1)
+  ret
+}
+`
+		if _, err := Parse(src); !errors.Is(err, ErrInvalidModule) {
+			t.Errorf("err = %v, want ErrInvalidModule", err)
+		}
+	})
+	t.Run("signal handler with params", func(t *testing.T) {
+		m := NewModule("m")
+		fn := NewFunction("h", "x")
+		if err := m.AddFunc(fn); err != nil {
+			t.Fatal(err)
+		}
+		if err := fn.AddBlock(&Block{Name: "entry", Instrs: []Instr{&RetInstr{}}}); err != nil {
+			t.Fatal(err)
+		}
+		m.SignalHandlers[9] = "h"
+		if err := m.Verify(); !errors.Is(err, ErrInvalidModule) {
+			t.Errorf("err = %v, want ErrInvalidModule", err)
+		}
+	})
+	t.Run("missing signal handler", func(t *testing.T) {
+		m := NewModule("m")
+		m.SignalHandlers[9] = "ghost"
+		if err := m.Verify(); !errors.Is(err, ErrInvalidModule) {
+			t.Errorf("err = %v, want ErrInvalidModule", err)
+		}
+	})
+}
+
+func TestCountedInstrs(t *testing.T) {
+	b := NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Const("x", 1).Unreachable()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := m.Main().Entry()
+	if got := blk.CountedInstrs(); got != 1 {
+		t.Errorf("CountedInstrs = %d, want 1 (unreachable omitted)", got)
+	}
+	if got := len(blk.Instrs); got != 2 {
+		t.Errorf("len(Instrs) = %d, want 2", got)
+	}
+}
+
+func TestCompute(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		b := NewModuleBuilder("m")
+		f := b.Func("main")
+		f.Block("entry").Compute(n).Ret()
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compute(n) plus the ret terminator.
+		want := n + 1
+		if got := m.Main().NumInstrs(); got != want {
+			t.Errorf("Compute(%d): NumInstrs = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{R("x"), "%x"},
+		{I(-3), "-3"},
+		{F("main"), "@main"},
+		{S("a b"), `"a b"`},
+		{Value{}, "<zero>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("Value.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSyscallStringArgsRoundTrip(t *testing.T) {
+	src := `module "m"
+
+func @main() {
+entry:
+  %fd = syscall open("/dev/mem, with comma", 2)
+  ret
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, ok := m.Main().Entry().Instrs[0].(*SyscallInstr)
+	if !ok {
+		t.Fatalf("instr = %T", m.Main().Entry().Instrs[0])
+	}
+	if sys.Args[0].Str != "/dev/mem, with comma" {
+		t.Errorf("arg = %q", sys.Args[0].Str)
+	}
+	if got := m.String(); got != src {
+		t.Errorf("round trip:\n%s\nwant:\n%s", got, src)
+	}
+}
+
+func TestTermAndSuccessors(t *testing.T) {
+	m := buildSample(t)
+	entry := m.Main().Entry()
+	term := entry.Term()
+	if term == nil {
+		t.Fatal("entry has no terminator")
+	}
+	succ := term.Successors()
+	if len(succ) != 2 || succ[0] != "then" || succ[1] != "else" {
+		t.Errorf("successors = %v", succ)
+	}
+	exit := m.Main().Block("exit")
+	if got := exit.Term().Successors(); len(got) != 0 {
+		t.Errorf("ret successors = %v", got)
+	}
+}
+
+func TestModuleNumInstrs(t *testing.T) {
+	m := buildSample(t)
+	want := 0
+	for _, fn := range m.Funcs {
+		for _, blk := range fn.Blocks {
+			want += len(blk.Instrs)
+		}
+	}
+	if got := m.NumInstrs(); got != want || want == 0 {
+		t.Errorf("NumInstrs = %d, want %d (nonzero)", got, want)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `module "m" ; the module
+; a full-line comment
+func @main() { ; entry
+entry: ; label
+  ret ; done
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "m" || m.Main() == nil {
+		t.Errorf("parsed module %+v", m)
+	}
+}
+
+func TestPrintIncludesSighandlers(t *testing.T) {
+	m := buildSample(t)
+	if !strings.Contains(m.String(), "sighandler 15 @handler") {
+		t.Errorf("String() missing sighandler line:\n%s", m.String())
+	}
+}

@@ -1,0 +1,225 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Module is a compilation unit: a named set of functions plus module-level
+// metadata (registered signal handlers) that AutoPriv's analysis consults.
+type Module struct {
+	// Name identifies the program, e.g. "passwd".
+	Name string
+	// Funcs lists the functions in declaration order. Funcs[i].Name values
+	// are unique within a module.
+	Funcs []*Function
+	// SignalHandlers maps a signal number to the name of the function the
+	// program registers for it (via the "signal" syscall). Privileges used
+	// by a registered handler stay live for the whole execution, the
+	// pathology the paper reports for sshd (§VII-C).
+	SignalHandlers map[int]string
+
+	byName map[string]*Function
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:           name,
+		SignalHandlers: make(map[int]string),
+		byName:         make(map[string]*Function),
+	}
+}
+
+// AddFunc appends fn to the module. It returns an error if a function with
+// the same name already exists.
+func (m *Module) AddFunc(fn *Function) error {
+	if m.byName == nil {
+		m.byName = make(map[string]*Function)
+	}
+	if _, ok := m.byName[fn.Name]; ok {
+		return fmt.Errorf("ir: duplicate function @%s in module %q", fn.Name, m.Name)
+	}
+	fn.Module = m
+	m.Funcs = append(m.Funcs, fn)
+	m.byName[fn.Name] = fn
+	return nil
+}
+
+// Func returns the function with the given name, or nil if absent.
+func (m *Module) Func(name string) *Function {
+	return m.byName[name]
+}
+
+// Main returns the entry function "main", or nil if the module has none.
+func (m *Module) Main() *Function { return m.Func("main") }
+
+// NumInstrs returns the total static instruction count of the module.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, fn := range m.Funcs {
+		n += fn.NumInstrs()
+	}
+	return n
+}
+
+// Clone returns a structural copy of the module: new Module, Function, and
+// Block values with freshly-copied instruction slices. Instr values are
+// shared between the original and the clone; the package treats instructions
+// as immutable, so transformation passes that only insert instructions may
+// operate on a clone without disturbing the original.
+func (m *Module) Clone() *Module {
+	c := NewModule(m.Name)
+	for sig, h := range m.SignalHandlers {
+		c.SignalHandlers[sig] = h
+	}
+	for _, fn := range m.Funcs {
+		nf := NewFunction(fn.Name, append([]string(nil), fn.Params...)...)
+		// AddFunc and AddBlock cannot fail here: names were unique in m.
+		if err := c.AddFunc(nf); err != nil {
+			panic(err)
+		}
+		for _, b := range fn.Blocks {
+			nb := &Block{Name: b.Name, Instrs: append([]Instr(nil), b.Instrs...)}
+			if err := nf.AddBlock(nb); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return c
+}
+
+// Function is a single IR function: an ordered list of basic blocks, the
+// first of which is the entry block.
+type Function struct {
+	// Name is the function's unique name within its module (no @ prefix).
+	Name string
+	// Params names the parameter registers, bound on call.
+	Params []string
+	// Blocks lists the basic blocks; Blocks[0] is the entry block. Block
+	// names are unique within a function.
+	Blocks []*Block
+	// Module is the containing module, set by Module.AddFunc.
+	Module *Module
+
+	byName map[string]*Block
+}
+
+// NewFunction returns an empty function with the given name and parameters.
+func NewFunction(name string, params ...string) *Function {
+	return &Function{
+		Name:   name,
+		Params: params,
+		byName: make(map[string]*Block),
+	}
+}
+
+// AddBlock appends a block to the function. It returns an error on duplicate
+// block names.
+func (f *Function) AddBlock(b *Block) error {
+	if f.byName == nil {
+		f.byName = make(map[string]*Block)
+	}
+	if _, ok := f.byName[b.Name]; ok {
+		return fmt.Errorf("ir: duplicate block %s in @%s", b.Name, f.Name)
+	}
+	b.Fn = f
+	f.Blocks = append(f.Blocks, b)
+	f.byName[b.Name] = b
+	return nil
+}
+
+// Block returns the block with the given name, or nil if absent.
+func (f *Function) Block(name string) *Block { return f.byName[name] }
+
+// Entry returns the entry block, or nil for an empty function.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NumInstrs returns the static instruction count of the function.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// single terminator.
+type Block struct {
+	// Name is the block's label, unique within its function.
+	Name string
+	// Instrs holds the instructions; a verified block's last instruction is
+	// its only Terminator.
+	Instrs []Instr
+	// Fn is the containing function, set by Function.AddBlock.
+	Fn *Function
+}
+
+// Term returns the block's terminator, or nil if the block is empty or
+// unterminated.
+func (b *Block) Term() Terminator {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t, _ := b.Instrs[len(b.Instrs)-1].(Terminator)
+	return t
+}
+
+// CountedInstrs returns the number of instructions ChronoPriv counts for the
+// block: all instructions except unreachable, which the paper's
+// instrumentation omits because executing it terminates the program (§VI).
+func (b *Block) CountedInstrs() int {
+	n := 0
+	for _, in := range b.Instrs {
+		if _, ok := in.(*UnreachableInstr); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the module in its canonical text form, parseable by Parse.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %q\n", m.Name)
+	if len(m.SignalHandlers) > 0 {
+		sigs := make([]int, 0, len(m.SignalHandlers))
+		for s := range m.SignalHandlers {
+			sigs = append(sigs, s)
+		}
+		sort.Ints(sigs)
+		for _, s := range sigs {
+			fmt.Fprintf(&sb, "sighandler %d @%s\n", s, m.SignalHandlers[s])
+		}
+	}
+	for _, fn := range m.Funcs {
+		sb.WriteByte('\n')
+		sb.WriteString(fn.String())
+	}
+	return sb.String()
+}
+
+// String renders the function in the IR text syntax.
+func (f *Function) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = "%" + p
+	}
+	fmt.Fprintf(&sb, "func @%s(%s) {\n", f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

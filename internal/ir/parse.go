@@ -1,0 +1,354 @@
+package ir
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrParse wraps all IR text-format parse failures.
+var ErrParse = errors.New("ir: parse error")
+
+// Parse reads a module from the canonical text format produced by
+// Module.String. The grammar is line-oriented:
+//
+//	module "name"
+//	sighandler <num> @handler
+//	func @name(%p1, %p2) {
+//	label:
+//	  %dst = const 42
+//	  %dst = add %x, 1
+//	  %dst = cmp lt, %x, %y
+//	  %dst = call @f(%a)
+//	  %dst = calli %fp(%a)
+//	  %dst = syscall open("/etc/passwd", 0)
+//	  br %c, then, else
+//	  jmp exit
+//	  ret [value]
+//	  unreachable
+//	}
+//
+// Comments run from ';' to end of line. The returned module has been
+// verified.
+func Parse(src string) (*Module, error) {
+	p := &parser{}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var m *Module
+	var fn *Function
+	var blk *Block
+	for sc.Scan() {
+		p.line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, ';'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "module "):
+			if m != nil {
+				return nil, p.errf("duplicate module header")
+			}
+			name, err := strconv.Unquote(strings.TrimSpace(strings.TrimPrefix(text, "module ")))
+			if err != nil {
+				return nil, p.errf("bad module name: %v", err)
+			}
+			m = NewModule(name)
+		case strings.HasPrefix(text, "sighandler "):
+			if m == nil {
+				return nil, p.errf("sighandler before module header")
+			}
+			var sig int
+			var handler string
+			if _, err := fmt.Sscanf(text, "sighandler %d @%s", &sig, &handler); err != nil {
+				return nil, p.errf("bad sighandler: %v", err)
+			}
+			m.SignalHandlers[sig] = handler
+		case strings.HasPrefix(text, "func "):
+			if m == nil {
+				return nil, p.errf("func before module header")
+			}
+			var err error
+			fn, err = p.parseFuncHeader(text)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddFunc(fn); err != nil {
+				return nil, p.errf("%v", err)
+			}
+			blk = nil
+		case text == "}":
+			fn, blk = nil, nil
+		case strings.HasSuffix(text, ":") && !strings.ContainsAny(text, " \t"):
+			if fn == nil {
+				return nil, p.errf("block label outside a function")
+			}
+			blk = &Block{Name: strings.TrimSuffix(text, ":")}
+			if err := fn.AddBlock(blk); err != nil {
+				return nil, p.errf("%v", err)
+			}
+		default:
+			if blk == nil {
+				return nil, p.errf("instruction outside a block: %q", text)
+			}
+			in, err := p.parseInstr(text)
+			if err != nil {
+				return nil, err
+			}
+			blk.Instrs = append(blk.Instrs, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("%w: no module header", ErrParse)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type parser struct{ line int }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrParse, p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseFuncHeader(text string) (*Function, error) {
+	// func @name(%a, %b) {
+	rest := strings.TrimPrefix(text, "func ")
+	rest = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "{"))
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") || !strings.HasPrefix(rest, "@") {
+		return nil, p.errf("bad func header: %q", text)
+	}
+	name := rest[1:open]
+	var params []string
+	inner := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	if inner != "" {
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if !strings.HasPrefix(part, "%") {
+				return nil, p.errf("bad parameter %q", part)
+			}
+			params = append(params, part[1:])
+		}
+	}
+	return NewFunction(name, params...), nil
+}
+
+// parseValue parses one operand: %reg, @func, an integer, or a quoted string.
+func (p *parser) parseValue(s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Value{}, p.errf("empty operand")
+	case s[0] == '%':
+		return R(s[1:]), nil
+	case s[0] == '@':
+		return F(s[1:]), nil
+	case s[0] == '"':
+		str, err := strconv.Unquote(s)
+		if err != nil {
+			return Value{}, p.errf("bad string operand %q: %v", s, err)
+		}
+		return S(str), nil
+	default:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, p.errf("bad operand %q", s)
+		}
+		return I(n), nil
+	}
+}
+
+// splitArgs splits a comma-separated argument list, honouring quoted strings.
+func splitArgs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(s) {
+				i++
+				cur.WriteByte(s[i])
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+			cur.WriteByte(c)
+		case c == ',':
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (p *parser) parseArgs(s string) ([]Value, error) {
+	parts := splitArgs(s)
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	out := make([]Value, len(parts))
+	for i, part := range parts {
+		v, err := p.parseValue(part)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *parser) parseInstr(text string) (Instr, error) {
+	dst := ""
+	body := text
+	if strings.HasPrefix(text, "%") {
+		eq := strings.Index(text, "=")
+		if eq < 0 {
+			return nil, p.errf("register without assignment: %q", text)
+		}
+		dst = strings.TrimSpace(text[1:eq])
+		body = strings.TrimSpace(text[eq+1:])
+	}
+	op, rest, _ := strings.Cut(body, " ")
+	rest = strings.TrimSpace(rest)
+
+	switch op {
+	case "const":
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad const %q", rest)
+		}
+		return &ConstInstr{Dst: dst, Val: n}, nil
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr":
+		var kind BinKind
+		for k, name := range binNames {
+			if name == op {
+				kind = k
+			}
+		}
+		args, err := p.parseArgs(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, p.errf("%s wants 2 operands, got %d", op, len(args))
+		}
+		return &BinInstr{Dst: dst, Op: kind, X: args[0], Y: args[1]}, nil
+	case "cmp":
+		args := splitArgs(rest)
+		if len(args) != 3 {
+			return nil, p.errf("cmp wants pred and 2 operands: %q", text)
+		}
+		var pred CmpKind
+		for k, name := range cmpNames {
+			if name == args[0] {
+				pred = k
+			}
+		}
+		if pred == 0 {
+			return nil, p.errf("bad cmp predicate %q", args[0])
+		}
+		x, err := p.parseValue(args[1])
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.parseValue(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return &CmpInstr{Dst: dst, Pred: pred, X: x, Y: y}, nil
+	case "call":
+		name, args, err := p.parseCallish(rest, "@")
+		if err != nil {
+			return nil, err
+		}
+		return &CallInstr{Dst: dst, Callee: name, Args: args}, nil
+	case "calli":
+		open := strings.IndexByte(rest, '(')
+		if open < 0 || !strings.HasSuffix(rest, ")") {
+			return nil, p.errf("bad calli: %q", text)
+		}
+		fp, err := p.parseValue(rest[:open])
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(rest[open+1 : len(rest)-1])
+		if err != nil {
+			return nil, err
+		}
+		return &CallIndInstr{Dst: dst, Fp: fp, Args: args}, nil
+	case "syscall":
+		name, args, err := p.parseCallish(rest, "")
+		if err != nil {
+			return nil, err
+		}
+		return &SyscallInstr{Dst: dst, Name: name, Args: args}, nil
+	case "br":
+		args := splitArgs(rest)
+		if len(args) != 3 {
+			return nil, p.errf("br wants cond and 2 targets: %q", text)
+		}
+		cond, err := p.parseValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &BrInstr{Cond: cond, Then: args[1], Else: args[2]}, nil
+	case "jmp":
+		if rest == "" {
+			return nil, p.errf("jmp wants a target")
+		}
+		return &JmpInstr{Target: rest}, nil
+	case "ret":
+		if rest == "" {
+			return &RetInstr{}, nil
+		}
+		v, err := p.parseValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		return &RetInstr{Val: v}, nil
+	case "unreachable":
+		return &UnreachableInstr{}, nil
+	default:
+		return nil, p.errf("unknown instruction %q", text)
+	}
+}
+
+// parseCallish parses "name(arg, arg)" with an optional required name prefix.
+func (p *parser) parseCallish(rest, prefix string) (string, []Value, error) {
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return "", nil, p.errf("bad call syntax: %q", rest)
+	}
+	name := strings.TrimSpace(rest[:open])
+	if prefix != "" {
+		if !strings.HasPrefix(name, prefix) {
+			return "", nil, p.errf("callee must start with %q: %q", prefix, name)
+		}
+		name = name[len(prefix):]
+	}
+	args, err := p.parseArgs(rest[open+1 : len(rest)-1])
+	if err != nil {
+		return "", nil, err
+	}
+	return name, args, nil
+}

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randModule generates a random, verifiable module: every branch target,
+// callee, and function reference exists.
+func randModule(r *rand.Rand) *Module {
+	m := NewModule(fmt.Sprintf("rand%d", r.Intn(1000)))
+
+	nFuncs := 1 + r.Intn(4)
+	funcNames := make([]string, nFuncs)
+	arities := make([]int, nFuncs)
+	funcNames[0] = "main"
+	for i := 1; i < nFuncs; i++ {
+		funcNames[i] = fmt.Sprintf("f%d", i)
+		arities[i] = r.Intn(3)
+	}
+
+	randValue := func(regs []string) Value {
+		switch r.Intn(4) {
+		case 0:
+			if len(regs) > 0 {
+				return R(regs[r.Intn(len(regs))])
+			}
+			return I(int64(r.Intn(100)))
+		case 1:
+			return I(int64(r.Intn(1000) - 500))
+		case 2:
+			return F(funcNames[r.Intn(nFuncs)])
+		default:
+			return S(fmt.Sprintf("path/%d", r.Intn(10)))
+		}
+	}
+
+	for fi, name := range funcNames {
+		params := make([]string, arities[fi])
+		for i := range params {
+			params[i] = fmt.Sprintf("p%d", i)
+		}
+		fn := NewFunction(name, params...)
+		if err := m.AddFunc(fn); err != nil {
+			panic(err)
+		}
+
+		nBlocks := 1 + r.Intn(4)
+		blockNames := make([]string, nBlocks)
+		for i := range blockNames {
+			blockNames[i] = fmt.Sprintf("b%d", i)
+		}
+		regs := append([]string(nil), params...)
+
+		for bi := 0; bi < nBlocks; bi++ {
+			blk := &Block{Name: blockNames[bi]}
+			if err := fn.AddBlock(blk); err != nil {
+				panic(err)
+			}
+			for n := r.Intn(5); n > 0; n-- {
+				dst := fmt.Sprintf("r%d", len(regs))
+				switch r.Intn(5) {
+				case 0:
+					blk.Instrs = append(blk.Instrs, &ConstInstr{Dst: dst, Val: int64(r.Intn(100))})
+				case 1:
+					op := BinKind(1 + r.Intn(10))
+					blk.Instrs = append(blk.Instrs, &BinInstr{Dst: dst, Op: op, X: randValue(regs), Y: randValue(regs)})
+				case 2:
+					pred := CmpKind(1 + r.Intn(6))
+					blk.Instrs = append(blk.Instrs, &CmpInstr{Dst: dst, Pred: pred, X: randValue(regs), Y: randValue(regs)})
+				case 3:
+					ci := r.Intn(nFuncs)
+					args := make([]Value, arities[ci])
+					for i := range args {
+						args[i] = randValue(regs)
+					}
+					blk.Instrs = append(blk.Instrs, &CallInstr{Dst: dst, Callee: funcNames[ci], Args: args})
+				default:
+					args := make([]Value, r.Intn(3))
+					for i := range args {
+						args[i] = randValue(regs)
+					}
+					blk.Instrs = append(blk.Instrs, &SyscallInstr{Dst: dst, Name: "open", Args: args})
+				}
+				regs = append(regs, dst)
+			}
+			// Terminator.
+			switch r.Intn(4) {
+			case 0:
+				blk.Instrs = append(blk.Instrs, &JmpInstr{Target: blockNames[r.Intn(nBlocks)]})
+			case 1:
+				blk.Instrs = append(blk.Instrs, &BrInstr{
+					Cond: randValue(regs),
+					Then: blockNames[r.Intn(nBlocks)],
+					Else: blockNames[r.Intn(nBlocks)],
+				})
+			case 2:
+				blk.Instrs = append(blk.Instrs, &RetInstr{Val: randValue(regs)})
+			default:
+				blk.Instrs = append(blk.Instrs, &RetInstr{})
+			}
+		}
+	}
+	return m
+}
+
+func TestRandomModulesVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		m := randModule(r)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("random module %d does not verify: %v\n%s", i, err, m)
+		}
+	}
+}
+
+func TestRandomModulesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m := randModule(r)
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("module %d failed to reparse: %v\n%s", i, err, text)
+		}
+		if got := m2.String(); got != text {
+			t.Fatalf("module %d round trip mismatch:\n--- printed\n%s\n--- reparsed\n%s", i, text, got)
+		}
+	}
+}
+
+func TestRandomModulesCloneEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		m := randModule(r)
+		c := m.Clone()
+		if c.String() != m.String() {
+			t.Fatalf("module %d clone differs", i)
+		}
+		// Mutating the clone's block list must not affect the original.
+		if len(c.Funcs[0].Blocks[0].Instrs) > 0 {
+			c.Funcs[0].Blocks[0].Instrs = c.Funcs[0].Blocks[0].Instrs[:0]
+			if c.String() == m.String() && len(m.Funcs[0].Blocks[0].Instrs) == 0 {
+				t.Fatalf("module %d clone shares instruction slices", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidModule wraps all verification failures.
+var ErrInvalidModule = errors.New("ir: invalid module")
+
+// Verify checks the structural well-formedness rules the analyses and the
+// interpreter rely on:
+//
+//   - every function has at least one block;
+//   - every block ends with exactly one terminator, and terminators appear
+//     nowhere else;
+//   - branch targets name blocks in the same function;
+//   - direct calls and function-reference operands name functions in the
+//     module;
+//   - registered signal handlers exist and take no parameters.
+//
+// All violations found are joined into the returned error.
+func (m *Module) Verify() error {
+	var errs []error
+	for _, fn := range m.Funcs {
+		if len(fn.Blocks) == 0 {
+			errs = append(errs, fmt.Errorf("@%s: no blocks", fn.Name))
+			continue
+		}
+		for _, b := range fn.Blocks {
+			errs = append(errs, m.verifyBlock(fn, b)...)
+		}
+	}
+	for sig, name := range m.SignalHandlers {
+		h := m.Func(name)
+		if h == nil {
+			errs = append(errs, fmt.Errorf("signal %d: handler @%s undefined", sig, name))
+			continue
+		}
+		if len(h.Params) != 0 {
+			errs = append(errs, fmt.Errorf("signal %d: handler @%s must take no parameters", sig, name))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidModule, errors.Join(errs...))
+}
+
+func (m *Module) verifyBlock(fn *Function, b *Block) []error {
+	var errs []error
+	where := func(i int) string { return fmt.Sprintf("@%s:%s[%d]", fn.Name, b.Name, i) }
+
+	if len(b.Instrs) == 0 {
+		return []error{fmt.Errorf("@%s:%s: empty block", fn.Name, b.Name)}
+	}
+	for i, in := range b.Instrs {
+		_, isTerm := in.(Terminator)
+		last := i == len(b.Instrs)-1
+		if last && !isTerm {
+			errs = append(errs, fmt.Errorf("%s: block does not end in a terminator", where(i)))
+		}
+		if !last && isTerm {
+			errs = append(errs, fmt.Errorf("%s: terminator %q in the middle of a block", where(i), in))
+		}
+		errs = append(errs, m.verifyInstr(fn, in, where(i))...)
+	}
+	return errs
+}
+
+func (m *Module) verifyInstr(fn *Function, in Instr, where string) []error {
+	var errs []error
+	checkVals := func(vals ...Value) {
+		for _, v := range vals {
+			if v.Kind == FuncRef && m.Func(v.Fn) == nil {
+				errs = append(errs, fmt.Errorf("%s: reference to undefined function @%s", where, v.Fn))
+			}
+		}
+	}
+	switch in := in.(type) {
+	case *CallInstr:
+		callee := m.Func(in.Callee)
+		if callee == nil {
+			errs = append(errs, fmt.Errorf("%s: call to undefined function @%s", where, in.Callee))
+		} else if len(in.Args) != len(callee.Params) {
+			errs = append(errs, fmt.Errorf("%s: call to @%s with %d args, want %d",
+				where, in.Callee, len(in.Args), len(callee.Params)))
+		}
+		checkVals(in.Args...)
+	case *CallIndInstr:
+		checkVals(append([]Value{in.Fp}, in.Args...)...)
+	case *SyscallInstr:
+		checkVals(in.Args...)
+	case *BinInstr:
+		checkVals(in.X, in.Y)
+	case *CmpInstr:
+		checkVals(in.X, in.Y)
+	case *BrInstr:
+		for _, tgt := range in.Successors() {
+			if fn.Block(tgt) == nil {
+				errs = append(errs, fmt.Errorf("%s: branch to undefined block %s", where, tgt))
+			}
+		}
+		checkVals(in.Cond)
+	case *JmpInstr:
+		if fn.Block(in.Target) == nil {
+			errs = append(errs, fmt.Errorf("%s: jump to undefined block %s", where, in.Target))
+		}
+	case *RetInstr:
+		checkVals(in.Val)
+	}
+	return errs
+}

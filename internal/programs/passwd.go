@@ -1,0 +1,281 @@
+package programs
+
+import (
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/vkernel"
+)
+
+// passwdFiles is the file layout for the original passwd run: root owns
+// /etc and the shadow database (the Ubuntu default the paper criticises in
+// §VII-D2).
+func passwdFiles() []vkernel.File {
+	return []vkernel.File{
+		{Path: "/etc", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+		{Path: "/etc/shadow", Owner: 0, Group: 42, Perms: vkernel.MustMode("rw-r-----"), Size: 1024},
+		{Path: "/etc/nshadow", Owner: 0, Group: 0, Perms: vkernel.MustMode("rw-------"), Size: 1024},
+		{Path: "/etc/.pwd.lock", Owner: 0, Group: 0, Perms: vkernel.MustMode("rw-------")},
+	}
+}
+
+// Passwd builds the model of shadow-utils passwd 4.1.5.1 (Table II), with
+// the privilege annotations of the AutoPriv test programs, calibrated to the
+// Table III rows. Workload: the invoking user (uid 1000) changes their own
+// password (§VII-B).
+//
+// Phase structure (§VII-C): passwd reads the user's entry from /etc/shadow
+// under CAP_DAC_READ_SEARCH, prompts for and hashes the new password (the
+// bulk of execution, still holding CAP_SETUID), calls setuid(0) to ignore
+// unexpected signals, then replaces the shadow database under
+// CAP_DAC_OVERRIDE/CAP_CHOWN/CAP_FOWNER, and exits with an empty permitted
+// set.
+func Passwd() (*Program, error) {
+	p := &Program{
+		Name:        "passwd",
+		Version:     "4.1.5.1",
+		SLOC:        50590,
+		Description: "Utility to change user passwords",
+		Workload:    "change the invoking user's password",
+		InitialUID:  1000,
+		InitialGID:  1000,
+		MainArgs:    []int64{0}, // error paths not taken
+		Files:       passwdFiles(),
+		Phases: []PhaseSpec{
+			{
+				Name: "passwd_priv1",
+				Privs: caps.NewSet(caps.CapDacReadSearch, caps.CapDacOverride,
+					caps.CapSetuid, caps.CapChown, caps.CapFowner),
+				UID: [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 2654, Percent: 3.81,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name: "passwd_priv2",
+				Privs: caps.NewSet(caps.CapSetuid, caps.CapDacOverride,
+					caps.CapChown, caps.CapFowner),
+				UID: [3]int{0, 0, 0}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 43, Percent: 0.06,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name: "passwd_priv3",
+				Privs: caps.NewSet(caps.CapSetuid, caps.CapDacOverride,
+					caps.CapChown, caps.CapFowner),
+				UID: [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 41255, Percent: 59.15,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "passwd_priv4",
+				Privs: caps.NewSet(caps.CapChown, caps.CapFowner, caps.CapDacOverride),
+				UID:   [3]int{0, 0, 0}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 25630, Percent: 36.75,
+				Vuln: [4]VulnExpect{Yes, Yes, No, No},
+			},
+			{
+				Name:  "passwd_priv5",
+				Privs: caps.EmptySet,
+				UID:   [3]int{0, 0, 0}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 162, Percent: 0.23,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+		},
+		// Execution order: priv1, priv3, priv2, priv4, priv5 (the table
+		// orders by privilege-set size; setuid(0) happens mid-run).
+		ChronologicalOrder: []int{0, 2, 1, 3, 4},
+	}
+	err := calibrate(p, buildPasswd)
+	return p, err
+}
+
+func buildPasswd(pads []int64) *ir.Module {
+	drs := caps.NewSet(caps.CapDacReadSearch)
+	su := caps.NewSet(caps.CapSetuid)
+	update := caps.NewSet(caps.CapDacOverride, caps.CapChown, caps.CapFowner)
+
+	b := ir.NewModuleBuilder("passwd")
+
+	// getspnam: read the user's shadow entry under CAP_DAC_READ_SEARCH.
+	// The capability is lowered at the end of the lookup work, so AutoPriv
+	// removes it there (the priv1 -> priv3 transition).
+	g := b.Func("getspnam")
+	g.Block("entry").
+		Raise(drs).
+		SyscallTo("fd", "open", ir.S("/etc/shadow"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("fd"), ir.I(240)).
+		Syscall("close", ir.R("fd")).
+		Jmp("lookup")
+	work(g, "lookup", pads[0], "fin")
+	g.Block("fin").
+		Lower(drs).
+		Ret()
+
+	f := b.Func("main", "err")
+	f.Block("entry").
+		Call("getspnam").
+		Jmp("prompt")
+	// priv3 bulk: prompting, password hashing.
+	work(f, "prompt", pads[1], "become_root")
+	f.Block("become_root").
+		Raise(su).
+		Syscall("setuid", ir.I(0)). // -> priv2: uid 0,0,0
+		Jmp("rootwin")
+	work(f, "rootwin", pads[2], "drop_setuid")
+	f.Block("drop_setuid").
+		Lower(su). // AutoPriv removes CapSetuid here -> priv4
+		Jmp("update")
+	f.Block("update").
+		Raise(update).
+		SyscallTo("lfd", "open", ir.S("/etc/.pwd.lock"), ir.I(vkernel.OpenWrite)).
+		Syscall("umask", ir.I(63)).
+		SyscallTo("nfd", "open", ir.S("/etc/nshadow"), ir.I(vkernel.OpenWrite)).
+		Syscall("write", ir.R("nfd"), ir.I(1024)).
+		Syscall("close", ir.R("nfd")).
+		SyscallTo("owner", "stat", ir.S("/etc/shadow")).
+		Syscall("chown", ir.S("/etc/nshadow"), ir.R("owner"), ir.I(42)).
+		Syscall("rename", ir.S("/etc/nshadow"), ir.S("/etc/shadow")).
+		Syscall("unlink", ir.S("/etc/.pwd.lock")).
+		Syscall("close", ir.R("lfd")).
+		Jmp("updatework")
+	work(f, "updatework", pads[3], "drop_rest")
+	f.Block("drop_rest").
+		Lower(update). // AutoPriv removes the remaining privileges -> priv5
+		Jmp("errcheck")
+	// Dead error path: on failure passwd signals its own process group;
+	// kill is in the binary (and therefore in the syscall inventory) but
+	// the workload never executes it.
+	f.Block("errcheck").
+		Br(ir.R("err"), "errpath", "cleanup")
+	f.Block("errpath").
+		Syscall("kill", ir.I(999), ir.I(15)).
+		Jmp("cleanup")
+	work(f, "cleanup", pads[4], "done")
+	f.Block("done").
+		Ret()
+
+	return b.MustBuild()
+}
+
+// PasswdRefactored builds the §VII-D1 refactored passwd, calibrated to
+// Table V: setuid moves early (to the special etc user, uid 998), and the
+// shadow database is owned by etc:shadow so the update phase needs no
+// privileges at all.
+func PasswdRefactored() (*Program, error) {
+	p := &Program{
+		Name:        "passwdRef",
+		Version:     "4.1.5.1 (refactored)",
+		SLOC:        50590,
+		Description: "Refactored passwd: early credential change, etc-owned shadow",
+		Workload:    "change the invoking user's password",
+		Refactored:  true,
+		InitialUID:  1000,
+		InitialGID:  1000,
+		MainArgs:    []int64{0},
+		Files: []vkernel.File{
+			// The etc user (998) owns /etc and the shadow files (§VII-D1).
+			{Path: "/etc", Owner: 998, Group: 42, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/etc/shadow", Owner: 998, Group: 42, Perms: vkernel.MustMode("rw-r-----"), Size: 1024},
+			{Path: "/etc/nshadow", Owner: 998, Group: 42, Perms: vkernel.MustMode("rw-------"), Size: 1024},
+			{Path: "/etc/.pwd.lock", Owner: 998, Group: 42, Perms: vkernel.MustMode("rw-------")},
+		},
+		Phases: []PhaseSpec{
+			{
+				Name:  "passwdRef_priv1",
+				Privs: caps.NewSet(caps.CapSetuid, caps.CapSetgid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 2633, Percent: 3.82,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "passwdRef_priv2",
+				Privs: caps.NewSet(caps.CapSetuid, caps.CapSetgid),
+				UID:   [3]int{998, 998, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 42, Percent: 0.06,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "passwdRef_priv3",
+				Privs: caps.NewSet(caps.CapSetgid),
+				UID:   [3]int{998, 998, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 49, Percent: 0.07,
+				Vuln: [4]VulnExpect{Yes, No, No, No},
+			},
+			{
+				Name:  "passwdRef_priv4",
+				Privs: caps.NewSet(caps.CapSetgid),
+				UID:   [3]int{998, 998, 1000}, GID: [3]int{1000, 42, 1000},
+				Instructions: 42, Percent: 0.06,
+				Vuln: [4]VulnExpect{Yes, Timeout, No, No},
+			},
+			{
+				Name:  "passwdRef_priv5",
+				Privs: caps.EmptySet,
+				UID:   [3]int{998, 998, 1000}, GID: [3]int{1000, 42, 1000},
+				Instructions: 66165, Percent: 95.99,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+		},
+		ChronologicalOrder: []int{0, 1, 2, 3, 4},
+		LoCChanged: map[string][2]int{
+			"shadow library code": {7, 76},
+			"passwd.c":            {23, 13},
+		},
+	}
+	err := calibrate(p, buildPasswdRefactored)
+	return p, err
+}
+
+func buildPasswdRefactored(pads []int64) *ir.Module {
+	su := caps.NewSet(caps.CapSetuid)
+	sg := caps.NewSet(caps.CapSetgid)
+
+	b := ir.NewModuleBuilder("passwdRef")
+	f := b.Func("main", "err")
+
+	// priv1: identify the invoking user, then change credentials early
+	// (§VII-E lesson a): real and effective uid become etc (998), saved
+	// stays 1000.
+	f.Block("entry").
+		SyscallTo("me", "getuid").
+		Jmp("ident")
+	work(f, "ident", pads[0], "become_etc")
+	f.Block("become_etc").
+		Raise(su).
+		Syscall("setresuid", ir.I(998), ir.I(998), ir.I(caps.WildID)). // -> priv2
+		Jmp("w2")
+	work(f, "w2", pads[1], "drop_su")
+	f.Block("drop_su").
+		Lower(su). // remove CapSetuid -> priv3
+		Jmp("w3")
+	work(f, "w3", pads[2], "join_shadow")
+	f.Block("join_shadow").
+		Raise(sg).
+		Syscall("setegid", ir.I(42)). // -> priv4: egid shadow
+		Jmp("w4")
+	work(f, "w4", pads[3], "drop_sg")
+	f.Block("drop_sg").
+		Lower(sg). // remove CapSetgid -> priv5: empty set
+		Jmp("update")
+	// priv5: the entire database update runs without privileges — euid 998
+	// owns the files, egid 42 matches the shadow group.
+	f.Block("update").
+		SyscallTo("fd", "open", ir.S("/etc/shadow"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("fd"), ir.I(240)).
+		Syscall("close", ir.R("fd")).
+		SyscallTo("lfd", "open", ir.S("/etc/.pwd.lock"), ir.I(vkernel.OpenWrite)).
+		SyscallTo("nfd", "open", ir.S("/etc/nshadow"), ir.I(vkernel.OpenWrite)).
+		Syscall("write", ir.R("nfd"), ir.I(1024)).
+		Syscall("close", ir.R("nfd")).
+		Syscall("rename", ir.S("/etc/nshadow"), ir.S("/etc/shadow")).
+		Syscall("unlink", ir.S("/etc/.pwd.lock")).
+		Syscall("close", ir.R("lfd")).
+		Br(ir.R("err"), "errpath", "hashwork")
+	f.Block("errpath").
+		Syscall("kill", ir.I(999), ir.I(15)).
+		Jmp("hashwork")
+	work(f, "hashwork", pads[4], "done")
+	f.Block("done").
+		Ret()
+
+	return b.MustBuild()
+}

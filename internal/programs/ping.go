@@ -1,0 +1,112 @@
+package programs
+
+import (
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/vkernel"
+)
+
+// Ping builds the model of iputils ping s20121221 (Table II), calibrated to
+// the Table III rows. Workload: ping -c 10 localhost (§VII-B).
+//
+// Phase structure (§VII-C): ping needs CAP_NET_RAW once, at startup, to
+// create its raw socket, and drops it immediately. CAP_NET_ADMIN is needed
+// only if -d or -m is given (SO_DEBUG / SO_MARK in setsockopt); the setup
+// function's potential use keeps it live until setup completes, after which
+// ping runs its echo loop with an empty permitted set — the paper's example
+// of a program that uses privileges well.
+func Ping() (*Program, error) {
+	p := &Program{
+		Name:        "ping",
+		Version:     "s20121221",
+		SLOC:        12202,
+		Description: "Test reachability of remote hosts",
+		Workload:    "ping -c 10 localhost",
+		InitialUID:  1000,
+		InitialGID:  1000,
+		// args: debug flag (0: no -d), request count (10).
+		MainArgs: []int64{0, 10},
+		Files: []vkernel.File{
+			{Path: "/etc", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/etc/hosts", Owner: 0, Group: 0, Perms: vkernel.MustMode("rw-r--r--"), Size: 256},
+		},
+		Phases: []PhaseSpec{
+			{
+				Name:  "ping_priv1",
+				Privs: caps.NewSet(caps.CapNetRaw, caps.CapNetAdmin),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 194, Percent: 1.36,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+			{
+				Name:  "ping_priv2",
+				Privs: caps.NewSet(caps.CapNetAdmin),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 204, Percent: 1.43,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+			{
+				Name:  "ping_priv3",
+				Privs: caps.EmptySet,
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 13844, Percent: 97.21,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+		},
+		ChronologicalOrder: []int{0, 1, 2},
+	}
+	err := calibrate(p, buildPing)
+	return p, err
+}
+
+func buildPing(pads []int64) *ir.Module {
+	nr := caps.NewSet(caps.CapNetRaw)
+	na := caps.NewSet(caps.CapNetAdmin)
+
+	b := ir.NewModuleBuilder("ping")
+	f := b.Func("main", "debug", "count")
+
+	// priv1: resolve the target, create the raw socket, drop CAP_NET_RAW.
+	f.Block("entry").
+		SyscallTo("hf", "open", ir.S("/etc/hosts"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("hf"), ir.I(128)).
+		Syscall("close", ir.R("hf")).
+		Raise(nr).
+		SyscallTo("sock", "socket", ir.I(vkernel.SockRaw)).
+		Jmp("resolve")
+	work(f, "resolve", pads[0], "drop_raw")
+	f.Block("drop_raw").
+		Lower(nr). // AutoPriv removes CAP_NET_RAW -> priv2
+		Jmp("setup")
+	// priv2: socket setup. The -d path raises CAP_NET_ADMIN; the workload
+	// does not take it, but its existence keeps the capability live until
+	// the join point.
+	work(f, "setup", pads[1], "debugcheck")
+	f.Block("debugcheck").
+		Br(ir.R("debug"), "sodebug", "nodebug")
+	f.Block("sodebug").
+		Raise(na).
+		Syscall("setsockopt", ir.R("sock"), ir.I(vkernel.SoDebug)).
+		Lower(na).
+		Jmp("mainloop")
+	f.Block("nodebug").
+		Jmp("mainloop")
+	// priv3: the echo loop, with an empty permitted set. Ten real
+	// request/reply rounds on the raw socket plus the per-run bookkeeping.
+	f.Block("mainloop").
+		Const("i", 0).
+		Jmp("loop_h")
+	f.Block("loop_h").
+		Cmp("c", ir.Lt, ir.R("i"), ir.R("count")).
+		Br(ir.R("c"), "loop_b", "stats")
+	f.Block("loop_b").
+		Syscall("write", ir.R("sock"), ir.I(64)).
+		Syscall("read", ir.R("sock"), ir.I(64)).
+		Bin("i", ir.Add, ir.R("i"), ir.I(1)).
+		Jmp("loop_h")
+	work(f, "stats", pads[2], "done")
+	f.Block("done").
+		Ret()
+
+	return b.MustBuild()
+}

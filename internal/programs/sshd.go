@@ -1,0 +1,196 @@
+package programs
+
+import (
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/vkernel"
+)
+
+// Sshd builds the model of OpenSSH sshd 6.6p1 (Table II), calibrated to
+// Table III. Workload: sshd -d serving one scp fetch of a 1 MB file from
+// user 1001's account (§VII-B).
+//
+// Phase structure (§VII-C): sshd drops CAP_NET_BIND_SERVICE after binding
+// port 22 but retains everything else for its whole execution, for two
+// reasons the model reproduces exactly:
+//
+//   - its signal handlers use privileges (the SIGCHLD handler may kill
+//     sessions), so those stay live at every program point;
+//   - the client-connection loop contains an indirect call whose type-based
+//     over-approximation includes every privilege-raising helper, so
+//     AutoPriv must assume any privilege may be raised on the next
+//     iteration and can remove nothing until the loop exits — which only
+//     happens when the connection closes.
+//
+// The run terminates (exit) while the server is still inside the loop, so
+// the final phases keep the full seven-capability permitted set, matching
+// rows sshd_priv2..4.
+func Sshd() (*Program, error) {
+	seven := caps.NewSet(caps.CapChown, caps.CapDacOverride, caps.CapDacReadSearch,
+		caps.CapKill, caps.CapSetgid, caps.CapSetuid, caps.CapSysChroot)
+	p := &Program{
+		Name:        "sshd",
+		Version:     "6.6p1",
+		SLOC:        83126,
+		Description: "Login server with encrypted sessions",
+		Workload:    "sshd -d; scp fetches a 1 MB file owned by uid 1001",
+		InitialUID:  1000,
+		InitialGID:  1000,
+		Files: []vkernel.File{
+			{Path: "/etc", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/etc/shadow", Owner: 0, Group: 42, Perms: vkernel.MustMode("rw-r-----"), Size: 1024},
+			{Path: "/home", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/home/file", Owner: 1001, Group: 1001, Perms: vkernel.MustMode("rw-r--r--"), Size: 1 << 20},
+			{Path: "/var/empty", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+		},
+		Phases: []PhaseSpec{
+			{
+				Name:  "sshd_priv1",
+				Privs: seven.Add(caps.CapNetBindService),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 196181, Percent: 0.31,
+				Vuln: [4]VulnExpect{Yes, Yes, Yes, Yes},
+			},
+			{
+				Name:  "sshd_priv2",
+				Privs: seven,
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 62374249, Percent: 98.94,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "sshd_priv3",
+				Privs: seven,
+				UID:   [3]int{1001, 1001, 1001}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 468197, Percent: 0.74,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "sshd_priv4",
+				Privs: seven,
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 1738, Percent: 0.00,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+		},
+		// Execution order: priv1, priv2, priv4 (gid switch first), priv3.
+		ChronologicalOrder: []int{0, 1, 3, 2},
+	}
+	err := calibrate(p, buildSshd)
+	return p, err
+}
+
+func buildSshd(pads []int64) *ir.Module {
+	nbs := caps.NewSet(caps.CapNetBindService)
+	sg := caps.NewSet(caps.CapSetgid)
+	su := caps.NewSet(caps.CapSetuid)
+	sc := caps.NewSet(caps.CapSysChroot)
+
+	b := ir.NewModuleBuilder("sshd")
+	b.OnSignal(17, "sigchld")
+
+	// The SIGCHLD handler reaps and may kill sessions; CAP_KILL stays live
+	// for the whole run because the handler can fire at any time.
+	h := b.Func("sigchld")
+	h.Block("entry").
+		Raise(caps.NewSet(caps.CapKill)).
+		Syscall("kill", ir.I(999), ir.I(17)).
+		Lower(caps.NewSet(caps.CapKill)).
+		Ret()
+
+	// Privilege-raising helpers dispatched indirectly from the client loop.
+	// The workload never executes them, but the type-based call graph makes
+	// every one a possible target of the loop's indirect call, keeping
+	// their capabilities live (§VII-C).
+	helper := func(name string, set caps.Set, body func(bb *ir.BlockBuilder)) {
+		fn := b.Func(name, "x")
+		bb := fn.Block("entry").Raise(set)
+		body(bb)
+		bb.Lower(set).Ret()
+	}
+	helper("readShadow", caps.NewSet(caps.CapDacReadSearch), func(bb *ir.BlockBuilder) {
+		bb.SyscallTo("fd", "open", ir.S("/etc/shadow"), ir.I(vkernel.OpenRead)).
+			Syscall("close", ir.R("fd"))
+	})
+	helper("overrideOpen", caps.NewSet(caps.CapDacOverride), func(bb *ir.BlockBuilder) {
+		bb.SyscallTo("fd", "open", ir.S("/etc/shadow"), ir.I(vkernel.OpenRDWR)).
+			Syscall("close", ir.R("fd"))
+	})
+	helper("chownPty", caps.NewSet(caps.CapChown), func(bb *ir.BlockBuilder) {
+		bb.Syscall("chown", ir.S("/home/file"), ir.I(1001), ir.I(1001))
+	})
+	helper("setgidHelper", sg, func(bb *ir.BlockBuilder) {
+		bb.Syscall("setresgid", ir.I(caps.WildID), ir.I(1000), ir.I(caps.WildID))
+	})
+	helper("setuidHelper", su, func(bb *ir.BlockBuilder) {
+		bb.Syscall("setresuid", ir.I(caps.WildID), ir.I(1000), ir.I(caps.WildID))
+	})
+
+	// dispatch is the target the workload actually reaches.
+	d := b.Func("dispatch", "x")
+	d.Block("entry").RetVal(ir.R("x"))
+
+	f := b.Func("main")
+	// priv1: bind port 22, key setup, drop CAP_NET_BIND_SERVICE.
+	f.Block("entry").
+		Raise(nbs).
+		SyscallTo("srv", "socket", ir.I(vkernel.SockStream)).
+		Syscall("bind", ir.R("srv"), ir.I(22)).
+		Syscall("listen", ir.R("srv")).
+		Syscall("signal", ir.I(17), ir.F("sigchld")).
+		Bin("fp", ir.Add, ir.F("dispatch"), ir.I(0)).
+		Bin("fp1", ir.Add, ir.F("readShadow"), ir.I(0)).
+		Bin("fp2", ir.Add, ir.F("overrideOpen"), ir.I(0)).
+		Bin("fp3", ir.Add, ir.F("chownPty"), ir.I(0)).
+		Bin("fp4", ir.Add, ir.F("setgidHelper"), ir.I(0)).
+		Bin("fp5", ir.Add, ir.F("setuidHelper"), ir.I(0)).
+		Jmp("keysetup")
+	work(f, "keysetup", pads[0], "drop_bind")
+	f.Block("drop_bind").
+		Lower(nbs). // remove CAP_NET_BIND_SERVICE -> priv2
+		Jmp("acceptloop")
+	// priv2: accept the connection, fork the session child, and run the
+	// client protocol loop. The indirect call keeps all capabilities live.
+	f.Block("acceptloop").
+		SyscallTo("conn", "accept", ir.R("srv")).
+		Syscall("fork").
+		Jmp("clientloop")
+	f.Block("clientloop").
+		CallInd(ir.R("fp"), ir.I(0)).
+		Syscall("read", ir.R("conn"), ir.I(4096)).
+		Jmp("session")
+	// chroot the session (CAP_SYS_CHROOT), then the protocol bulk.
+	f.Block("session").
+		Raise(sc).
+		Syscall("chroot", ir.S("/var/empty")).
+		Lower(sc).
+		Jmp("protowork")
+	work(f, "protowork", pads[1], "setcreds_gid")
+	f.Block("setcreds_gid").
+		Raise(sg).
+		Syscall("setresgid", ir.I(1001), ir.I(1001), ir.I(1001)). // -> priv4
+		Syscall("setgroups", ir.I(1001)).
+		Lower(sg).
+		Jmp("gidwin")
+	work(f, "gidwin", pads[2], "setcreds_uid")
+	f.Block("setcreds_uid").
+		Raise(su).
+		Syscall("setresuid", ir.I(1001), ir.I(1001), ir.I(1001)). // -> priv3
+		Lower(su).
+		Jmp("serve")
+	// priv3: serve the scp transfer as the target user.
+	f.Block("serve").
+		SyscallTo("ff", "open", ir.S("/home/file"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("ff"), ir.I(1<<20)).
+		Syscall("write", ir.R("conn"), ir.I(1<<20)).
+		Syscall("close", ir.R("ff")).
+		Jmp("servework")
+	work(f, "servework", pads[3], "shutdown")
+	// The measured run ends here, still inside the connection loop: the
+	// back edge below keeps every capability live but never executes.
+	f.Block("shutdown").
+		Syscall("exit", ir.I(0)).
+		Jmp("clientloop")
+
+	return b.MustBuild()
+}

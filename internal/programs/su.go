@@ -1,0 +1,307 @@
+package programs
+
+import (
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/vkernel"
+)
+
+// Su builds the model of shadow-utils su 4.1.5.1 (Table II), calibrated to
+// Table III. Workload: su executes ls as the other regular user (uid 1001)
+// (§VII-B).
+//
+// Phase structure (§VII-C): su reads the shadow database under
+// CAP_DAC_READ_SEARCH (live through the authentication bulk — 82% of
+// execution), handles the optional sulog under CAP_SETGID, switches group
+// and supplementary IDs to the target user, drops CAP_SETGID, switches user
+// IDs under CAP_SETUID, drops it, and finally executes the target command
+// with an empty permitted set.
+func Su() (*Program, error) {
+	p := &Program{
+		Name:        "su",
+		Version:     "4.1.5.1",
+		SLOC:        50590,
+		Description: "Utility to log in as another user",
+		Workload:    "su to uid 1001, run ls",
+		InitialUID:  1000,
+		InitialGID:  1000,
+		MainArgs:    []int64{0, 0}, // no sulog, no error path
+		Files: []vkernel.File{
+			{Path: "/etc", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/etc/shadow", Owner: 0, Group: 42, Perms: vkernel.MustMode("rw-r-----"), Size: 1024},
+			{Path: "/var/log", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/var/log/sulog", Owner: 0, Group: 42, Perms: vkernel.MustMode("rw-rw----"), Size: 512},
+		},
+		Phases: []PhaseSpec{
+			{
+				Name:  "su_priv1",
+				Privs: caps.NewSet(caps.CapDacReadSearch, caps.CapSetgid, caps.CapSetuid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 38880, Percent: 82.10,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "su_priv2",
+				Privs: caps.NewSet(caps.CapSetgid, caps.CapSetuid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 2449, Percent: 5.17,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "su_priv3",
+				Privs: caps.NewSet(caps.CapSetgid, caps.CapSetuid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 133, Percent: 0.28,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "su_priv4",
+				Privs: caps.NewSet(caps.CapSetuid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 82, Percent: 0.17,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "su_priv5",
+				Privs: caps.NewSet(caps.CapSetuid),
+				UID:   [3]int{1001, 1001, 1001}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 43, Percent: 0.09,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "su_priv6",
+				Privs: caps.EmptySet,
+				UID:   [3]int{1001, 1001, 1001}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 5768, Percent: 12.18,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+		},
+		ChronologicalOrder: []int{0, 1, 2, 3, 4, 5},
+	}
+	err := calibrate(p, buildSu)
+	return p, err
+}
+
+func buildSu(pads []int64) *ir.Module {
+	drs := caps.NewSet(caps.CapDacReadSearch)
+	sg := caps.NewSet(caps.CapSetgid)
+	su := caps.NewSet(caps.CapSetuid)
+
+	b := ir.NewModuleBuilder("su")
+
+	// authenticate: getspnam plus password verification; the shadow-read
+	// privilege stays live through the whole authentication bulk.
+	a := b.Func("authenticate")
+	a.Block("entry").
+		Raise(drs).
+		SyscallTo("fd", "open", ir.S("/etc/shadow"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("fd"), ir.I(240)).
+		Syscall("close", ir.R("fd")).
+		Jmp("verify")
+	work(a, "verify", pads[0], "fin")
+	a.Block("fin").
+		Lower(drs). // remove CAP_DAC_READ_SEARCH -> priv2
+		Ret()
+
+	f := b.Func("main", "hasSulog", "err")
+	f.Block("entry").
+		Call("authenticate").
+		Jmp("sulogcheck")
+	// The sulog path needs CAP_SETGID to switch the effective group to the
+	// sulog group; the evaluation system has no sulog, so the branch is not
+	// taken, but its syscalls are in the inventory.
+	f.Block("sulogcheck").
+		Br(ir.R("hasSulog"), "sulogw", "nosulog")
+	f.Block("sulogw").
+		Raise(sg).
+		Syscall("setegid", ir.I(42)).
+		SyscallTo("lf", "open", ir.S("/var/log/sulog"), ir.I(vkernel.OpenWrite)).
+		Syscall("write", ir.R("lf"), ir.I(80)).
+		Syscall("close", ir.R("lf")).
+		Syscall("setegid", ir.I(1000)).
+		Lower(sg).
+		Jmp("prepwork")
+	f.Block("nosulog").
+		Jmp("prepwork")
+	work(f, "prepwork", pads[1], "switchgroup")
+	f.Block("switchgroup").
+		Raise(sg).
+		Syscall("setgid", ir.I(1001)).    // -> priv3: gid 1001,1001,1001
+		Syscall("setgroups", ir.I(1001)). // supplementary list of the target
+		Jmp("groupwin")
+	work(f, "groupwin", pads[2], "drop_sg")
+	f.Block("drop_sg").
+		Lower(sg). // remove CAP_SETGID -> priv4
+		Jmp("preuid")
+	work(f, "preuid", pads[3], "switchuser")
+	f.Block("switchuser").
+		Raise(su).
+		Syscall("setuid", ir.I(1001)). // -> priv5: uid 1001,1001,1001
+		Jmp("uidwin")
+	work(f, "uidwin", pads[4], "drop_su")
+	f.Block("drop_su").
+		Lower(su). // remove CAP_SETUID -> priv6: empty set
+		Jmp("shell")
+	// priv6: set up the target user's environment and exec the command.
+	// The kill syscall (signal forwarding to the child session) is on the
+	// never-taken error path.
+	f.Block("shell").
+		Br(ir.R("err"), "sigfwd", "shellwork")
+	f.Block("sigfwd").
+		Syscall("kill", ir.I(999), ir.I(15)).
+		Jmp("shellwork")
+	work(f, "shellwork", pads[5], "execit")
+	f.Block("execit").
+		Syscall("exec", ir.S("/bin/ls")).
+		Ret()
+
+	return b.MustBuild()
+}
+
+// SuRefactored builds the §VII-D2 refactored su, calibrated to Table V: the
+// target user is determined early, CAP_SETUID/CAP_SETGID set the saved IDs
+// to the target up front and are dropped immediately; the later identity
+// switch uses unprivileged setresuid/setresgid among the process's own IDs,
+// and the shadow read works through the etc user's ownership instead of
+// CAP_DAC_READ_SEARCH.
+func SuRefactored() (*Program, error) {
+	p := &Program{
+		Name:        "suRef",
+		Version:     "4.1.5.1 (refactored)",
+		SLOC:        50590,
+		Description: "Refactored su: early credential change via saved IDs",
+		Workload:    "su to uid 1001, run ls",
+		Refactored:  true,
+		InitialUID:  1000,
+		InitialGID:  1000,
+		MainArgs:    []int64{0, 0},
+		Files: []vkernel.File{
+			{Path: "/etc", Owner: 998, Group: 42, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/etc/shadow", Owner: 998, Group: 42, Perms: vkernel.MustMode("rw-r-----"), Size: 1024},
+			{Path: "/var/log", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxrwxr-x"), IsDir: true},
+			{Path: "/var/log/sulog", Owner: 998, Group: 42, Perms: vkernel.MustMode("rw-rw----"), Size: 512},
+		},
+		Phases: []PhaseSpec{
+			{
+				Name:  "suRef_priv1",
+				Privs: caps.NewSet(caps.CapSetuid, caps.CapSetgid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 264, Percent: 0.56,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "suRef_priv2",
+				Privs: caps.NewSet(caps.CapSetuid, caps.CapSetgid),
+				UID:   [3]int{1000, 998, 1001}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 42, Percent: 0.09,
+				Vuln: [4]VulnExpect{Yes, Yes, No, Yes},
+			},
+			{
+				Name:  "suRef_priv3",
+				Privs: caps.NewSet(caps.CapSetgid),
+				UID:   [3]int{1000, 998, 1001}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 42, Percent: 0.09,
+				Vuln: [4]VulnExpect{Yes, Timeout, No, No},
+			},
+			{
+				Name:  "suRef_priv4",
+				Privs: caps.NewSet(caps.CapSetgid),
+				UID:   [3]int{1000, 998, 1001}, GID: [3]int{1000, 998, 1001},
+				Instructions: 126, Percent: 0.27,
+				Vuln: [4]VulnExpect{Yes, Timeout, No, No},
+			},
+			{
+				Name:  "suRef_priv5",
+				Privs: caps.EmptySet,
+				UID:   [3]int{1001, 1001, 1001}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 5766, Percent: 12.21,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+			{
+				Name:  "suRef_priv6",
+				Privs: caps.EmptySet,
+				UID:   [3]int{1000, 998, 1001}, GID: [3]int{1000, 998, 1001},
+				Instructions: 40951, Percent: 86.69,
+				Vuln: [4]VulnExpect{Timeout, Timeout, No, No},
+			},
+			{
+				Name:  "suRef_priv7",
+				Privs: caps.EmptySet,
+				UID:   [3]int{1000, 998, 1001}, GID: [3]int{1001, 1001, 1001},
+				Instructions: 43, Percent: 0.09,
+				Vuln: [4]VulnExpect{Timeout, Timeout, No, No},
+			},
+		},
+		// Execution order: priv1, priv2, priv3, priv4, priv6 (the
+		// unprivileged bulk), priv7 (group switch), priv5 (user switch).
+		ChronologicalOrder: []int{0, 1, 2, 3, 5, 6, 4},
+		LoCChanged: map[string][2]int{
+			"su.c": {35, 6},
+		},
+	}
+	err := calibrate(p, buildSuRefactored)
+	return p, err
+}
+
+func buildSuRefactored(pads []int64) *ir.Module {
+	sg := caps.NewSet(caps.CapSetgid)
+	su := caps.NewSet(caps.CapSetuid)
+
+	b := ir.NewModuleBuilder("suRef")
+	f := b.Func("main", "hasSulog", "err")
+
+	// priv1: determine the target user, then plant the three-identity
+	// credential set early (§VII-E lesson a): effective uid etc (998) for
+	// the shadow read, saved uid 1001 for the later switch.
+	f.Block("entry").
+		SyscallTo("me", "getuid").
+		Jmp("ident")
+	work(f, "ident", pads[0], "plant_uids")
+	f.Block("plant_uids").
+		Raise(su).
+		Syscall("setresuid", ir.I(1000), ir.I(998), ir.I(1001)). // -> priv2
+		Jmp("w2")
+	work(f, "w2", pads[1], "drop_su")
+	f.Block("drop_su").
+		Lower(su). // remove CAP_SETUID -> priv3
+		Jmp("w3")
+	work(f, "w3", pads[2], "plant_gids")
+	f.Block("plant_gids").
+		Raise(sg).
+		Syscall("setresgid", ir.I(1000), ir.I(998), ir.I(1001)). // -> priv4
+		Syscall("setgroups", ir.I(1001)).
+		Jmp("w4")
+	work(f, "w4", pads[3], "drop_sg")
+	f.Block("drop_sg").
+		Lower(sg). // remove CAP_SETGID -> priv6: empty set
+		Jmp("auth")
+	// priv6: authentication and sulog append, all through ownership: the
+	// effective uid is etc (998), which owns /etc/shadow and the sulog.
+	f.Block("auth").
+		SyscallTo("fd", "open", ir.S("/etc/shadow"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("fd"), ir.I(240)).
+		Syscall("close", ir.R("fd")).
+		SyscallTo("lf", "open", ir.S("/var/log/sulog"), ir.I(vkernel.OpenWrite)).
+		Syscall("write", ir.R("lf"), ir.I(80)).
+		Syscall("close", ir.R("lf")).
+		Jmp("authwork")
+	work(f, "authwork", pads[4], "switch_gid")
+	f.Block("switch_gid").
+		Syscall("setresgid", ir.I(1001), ir.I(1001), ir.I(1001)). // unprivileged -> priv7
+		Jmp("w7")
+	work(f, "w7", pads[5], "switch_uid")
+	f.Block("switch_uid").
+		Syscall("setresuid", ir.I(1001), ir.I(1001), ir.I(1001)). // unprivileged -> priv5
+		Jmp("shellwork")
+	work(f, "shellwork", pads[6], "execit")
+	f.Block("execit").
+		Br(ir.R("err"), "sigfwd", "run")
+	f.Block("sigfwd").
+		Syscall("kill", ir.I(999), ir.I(15)).
+		Jmp("run")
+	f.Block("run").
+		Syscall("exec", ir.S("/bin/ls")).
+		Ret()
+
+	return b.MustBuild()
+}

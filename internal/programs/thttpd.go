@@ -1,0 +1,147 @@
+package programs
+
+import (
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/ir"
+	"privanalyzer/internal/vkernel"
+)
+
+// Thttpd builds the model of thttpd 2.26 (Table II), calibrated to Table
+// III. Workload: ApacheBench fetches one 1 MB file at concurrency 1
+// (§VII-B).
+//
+// Phase structure (§VII-C): thttpd uses its privileges early — bind to port
+// 80 (CAP_NET_BIND_SERVICE), chown its log file (CAP_CHOWN), pin its
+// identity (CAP_SETUID/CAP_SETGID), and chroot to the web root
+// (CAP_SYS_CHROOT) — then drops everything and serves with an empty
+// permitted set for 90% of its execution.
+func Thttpd() (*Program, error) {
+	p := &Program{
+		Name:        "thttpd",
+		Version:     "2.26",
+		SLOC:        8922,
+		Description: "Small single-process web server",
+		Workload:    "ApacheBench: 1 request, concurrency 1, 1 MB file",
+		InitialUID:  1000,
+		InitialGID:  1000,
+		MainArgs:    []int64{0}, // no CGI kill path
+		Files: []vkernel.File{
+			{Path: "/var/www", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxr-xr-x"), IsDir: true},
+			{Path: "/var/www/index.html", Owner: 1000, Group: 1000, Perms: vkernel.MustMode("rw-r--r--"), Size: 1 << 20},
+			{Path: "/var/log", Owner: 0, Group: 0, Perms: vkernel.MustMode("rwxrwxr-x"), IsDir: true},
+			{Path: "/var/log/thttpd.log", Owner: 1000, Group: 1000, Perms: vkernel.MustMode("rw-r--r--")},
+		},
+		Phases: []PhaseSpec{
+			{
+				Name: "thttpd_priv1",
+				Privs: caps.NewSet(caps.CapChown, caps.CapSetgid, caps.CapSetuid,
+					caps.CapNetBindService, caps.CapSysChroot),
+				UID: [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 323, Percent: 0.00,
+				Vuln: [4]VulnExpect{Yes, Yes, Yes, Yes},
+			},
+			{
+				Name: "thttpd_priv2",
+				Privs: caps.NewSet(caps.CapSetgid, caps.CapNetBindService,
+					caps.CapSysChroot),
+				UID: [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 4685943, Percent: 9.82,
+				Vuln: [4]VulnExpect{Yes, No, Yes, No},
+			},
+			{
+				Name:  "thttpd_priv3",
+				Privs: caps.NewSet(caps.CapSetgid, caps.CapNetBindService),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 361, Percent: 0.00,
+				Vuln: [4]VulnExpect{Yes, No, Yes, No},
+			},
+			{
+				Name:  "thttpd_priv4",
+				Privs: caps.NewSet(caps.CapSetgid),
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 7199, Percent: 0.02,
+				Vuln: [4]VulnExpect{Yes, No, No, No},
+			},
+			{
+				Name:  "thttpd_priv5",
+				Privs: caps.EmptySet,
+				UID:   [3]int{1000, 1000, 1000}, GID: [3]int{1000, 1000, 1000},
+				Instructions: 43008606, Percent: 90.16,
+				Vuln: [4]VulnExpect{No, No, No, No},
+			},
+		},
+		ChronologicalOrder: []int{0, 1, 2, 3, 4},
+	}
+	err := calibrate(p, buildThttpd)
+	return p, err
+}
+
+func buildThttpd(pads []int64) *ir.Module {
+	nbs := caps.NewSet(caps.CapNetBindService)
+	ch := caps.NewSet(caps.CapChown)
+	su := caps.NewSet(caps.CapSetuid)
+	sg := caps.NewSet(caps.CapSetgid)
+	sc := caps.NewSet(caps.CapSysChroot)
+
+	b := ir.NewModuleBuilder("thttpd")
+	f := b.Func("main", "cgi")
+
+	// priv1: bind port 80, take ownership of the log, pin the server uid.
+	f.Block("entry").
+		Raise(nbs).
+		SyscallTo("srv", "socket", ir.I(vkernel.SockStream)).
+		Syscall("bind", ir.R("srv"), ir.I(80)).
+		Syscall("listen", ir.R("srv")).
+		Raise(ch).
+		Syscall("chown", ir.S("/var/log/thttpd.log"), ir.I(1000), ir.I(1000)).
+		Raise(su).
+		Syscall("setuid", ir.I(1000)).
+		Jmp("initwork")
+	work(f, "initwork", pads[0], "drop_ownid")
+	f.Block("drop_ownid").
+		Lower(ch.Union(su)). // remove CapChown+CapSetuid -> priv2
+		Jmp("chrootit")
+	// priv2: chroot into the web root; the paper's measured run attributes
+	// part of the request handling here before CAP_SYS_CHROOT is dropped.
+	f.Block("chrootit").
+		Raise(sc).
+		Syscall("chroot", ir.S("/var/www")).
+		SyscallTo("conn", "accept", ir.R("srv")).
+		Syscall("read", ir.R("conn"), ir.I(512)).
+		Jmp("earlyserve")
+	work(f, "earlyserve", pads[1], "drop_chroot")
+	f.Block("drop_chroot").
+		Lower(sc). // remove CapSysChroot -> priv3
+		Jmp("w3")
+	work(f, "w3", pads[2], "drop_bind")
+	f.Block("drop_bind").
+		Lower(nbs). // remove CapNetBindService -> priv4
+		Jmp("w4")
+	work(f, "w4", pads[3], "setgidlate")
+	f.Block("setgidlate").
+		Raise(sg).
+		Syscall("setgid", ir.I(1000)).
+		Lower(sg). // remove CapSetgid -> priv5
+		Jmp("serve")
+	// priv5: serve the 1 MB response with an empty permitted set — 90% of
+	// the execution. The CGI-reaping kill is on a never-taken branch.
+	f.Block("serve").
+		SyscallTo("ff", "open", ir.S("/var/www/index.html"), ir.I(vkernel.OpenRead)).
+		Syscall("read", ir.R("ff"), ir.I(1<<20)).
+		Syscall("write", ir.R("conn"), ir.I(1<<20)).
+		Syscall("close", ir.R("ff")).
+		Br(ir.R("cgi"), "cgireap", "logit")
+	f.Block("cgireap").
+		Syscall("kill", ir.I(999), ir.I(15)).
+		Jmp("logit")
+	f.Block("logit").
+		SyscallTo("lf", "open", ir.S("/var/log/thttpd.log"), ir.I(vkernel.OpenWrite)).
+		Syscall("write", ir.R("lf"), ir.I(128)).
+		Syscall("close", ir.R("lf")).
+		Jmp("servework")
+	work(f, "servework", pads[4], "done")
+	f.Block("done").
+		Ret()
+
+	return b.MustBuild()
+}

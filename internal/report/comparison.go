@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"privanalyzer/internal/core"
+	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rosa"
+)
+
+// CellOutcome classifies one table cell's agreement with the paper.
+type CellOutcome uint8
+
+// Cell outcomes.
+const (
+	// Match: the measured value equals the paper's.
+	Match CellOutcome = iota + 1
+	// Resolved: the paper reported ⏱ and our bounded search reached a
+	// definitive ✗ — consistent with the paper's "likely invulnerable"
+	// reading but not identical.
+	Resolved
+	// Mismatch: the measured value disagrees with the paper.
+	Mismatch
+)
+
+// Comparison is the paper-vs-measured summary for a set of analyses — the
+// artifact-evaluation view of Tables III and V.
+type Comparison struct {
+	// CountCells and CountMatches tally the dynamic-instruction-count
+	// column (one cell per phase row).
+	CountCells, CountMatches int
+	// VerdictCells etc. tally the 4 attack-verdict columns.
+	VerdictCells, VerdictMatches, VerdictResolved, VerdictMismatches int
+	// Lines holds one rendered row per deviation (empty when everything
+	// matches or resolves).
+	Lines []string
+}
+
+// Compare tallies every cell of the given analyses against the paper's
+// expected values.
+func Compare(as []*core.Analysis) *Comparison {
+	c := &Comparison{}
+	for _, a := range as {
+		for _, pr := range a.Phases {
+			c.CountCells++
+			if pr.Measured.Instructions == pr.Spec.Instructions {
+				c.CountMatches++
+			} else {
+				c.Lines = append(c.Lines, fmt.Sprintf(
+					"%s %s: count %d, paper %d",
+					a.Program.Name, pr.Spec.Name, pr.Measured.Instructions, pr.Spec.Instructions))
+			}
+			for i, want := range pr.Spec.Vuln {
+				got := pr.Verdicts[i]
+				if got == 0 {
+					continue
+				}
+				c.VerdictCells++
+				switch outcome(want, got) {
+				case Match:
+					c.VerdictMatches++
+				case Resolved:
+					c.VerdictResolved++
+				case Mismatch:
+					c.VerdictMismatches++
+					c.Lines = append(c.Lines, fmt.Sprintf(
+						"%s %s attack%d: verdict %s, paper %s",
+						a.Program.Name, pr.Spec.Name, i+1, got, want))
+				}
+			}
+		}
+	}
+	return c
+}
+
+func outcome(want programs.VulnExpect, got rosa.Verdict) CellOutcome {
+	switch want {
+	case programs.Yes:
+		if got == rosa.Vulnerable {
+			return Match
+		}
+	case programs.No:
+		if got == rosa.Safe {
+			return Match
+		}
+	case programs.Timeout:
+		switch got {
+		case rosa.Unknown:
+			return Match
+		case rosa.Safe:
+			return Resolved
+		}
+	}
+	return Mismatch
+}
+
+// Clean reports whether no cell disagrees with the paper.
+func (c *Comparison) Clean() bool { return c.VerdictMismatches == 0 && c.CountMatches == c.CountCells }
+
+// String renders the artifact-evaluation summary.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	b.WriteString("paper-vs-measured summary\n")
+	fmt.Fprintf(&b, "  dynamic instruction counts: %d/%d cells exact\n", c.CountMatches, c.CountCells)
+	fmt.Fprintf(&b, "  attack verdicts: %d/%d cells exact", c.VerdictMatches, c.VerdictCells)
+	if c.VerdictResolved > 0 {
+		fmt.Fprintf(&b, ", %d paper-⏱ cells resolved to ✗", c.VerdictResolved)
+	}
+	if c.VerdictMismatches > 0 {
+		fmt.Fprintf(&b, ", %d MISMATCHES", c.VerdictMismatches)
+	}
+	b.WriteByte('\n')
+	for _, l := range c.Lines {
+		fmt.Fprintf(&b, "  deviation: %s\n", l)
+	}
+	if c.Clean() {
+		b.WriteString("  verdict: reproduction matches the paper\n")
+	}
+	return b.String()
+}

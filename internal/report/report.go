@@ -1,0 +1,150 @@
+// Package report renders PrivAnalyzer results in the layout of the paper's
+// tables and figures: the modeled attacks (Table I), the test programs
+// (Table II), the security-efficacy matrices (Tables III and V), the
+// refactoring effort (Table IV), and the ROSA search-time series behind
+// Figures 5–11.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"privanalyzer/internal/attacks"
+	"privanalyzer/internal/core"
+	"privanalyzer/internal/programs"
+)
+
+// TableI renders the modeled attacks.
+func TableI() string {
+	var b strings.Builder
+	b.WriteString("TABLE I: Modeled Attacks\n")
+	fmt.Fprintf(&b, "%-8s %s\n", "Attack", "Description")
+	for _, id := range attacks.All {
+		fmt.Fprintf(&b, "%-8d %s\n", id, id.Description())
+	}
+	return b.String()
+}
+
+// TableII renders the test-program metadata for the given programs.
+func TableII(ps []*programs.Program) string {
+	var b strings.Builder
+	b.WriteString("TABLE II: Programs for Experiments\n")
+	fmt.Fprintf(&b, "%-10s %-22s %8s  %s\n", "Program", "Version", "SLOC", "Description")
+	for _, p := range ps {
+		if p.Refactored {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-22s %8d  %s\n", p.Name, p.Version, p.SLOC, p.Description)
+	}
+	return b.String()
+}
+
+// TableIV renders the lines-of-code-changed table for the refactored
+// programs, merging their per-file rows.
+func TableIV(ps []*programs.Program) string {
+	cols := make(map[string][2]int)
+	for _, p := range ps {
+		for file, counts := range p.LoCChanged {
+			cols[file] = counts
+		}
+	}
+	names := make([]string, 0, len(cols))
+	for name := range cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("TABLE IV: Lines of Code Changed for Refactored Programs\n")
+	fmt.Fprintf(&b, "%-9s", "")
+	for _, name := range names {
+		fmt.Fprintf(&b, " %22s", name)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-9s", "Added")
+	for _, name := range names {
+		fmt.Fprintf(&b, " %22d", cols[name][0])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-9s", "Deleted")
+	for _, name := range names {
+		fmt.Fprintf(&b, " %22d", cols[name][1])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// EfficacyTable renders one or more analyses as the corresponding fragment
+// of Table III (original programs) or Table V (refactored programs).
+func EfficacyTable(title string, as []*core.Analysis) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("✓ = vulnerable, ✗ = invulnerable, ⏱ = search budget exceeded\n\n")
+	for _, a := range as {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SearchTimes renders the Figure 5–11 series for one program: per phase and
+// attack, the ROSA verdict, the states explored, and the wall-clock search
+// time. The paper plots mean wall-clock seconds over 10 runs; states
+// explored is the machine-independent equivalent.
+func SearchTimes(a *core.Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ROSA search cost for %s (Figures 5-11 series)\n", a.Program.Name)
+	fmt.Fprintf(&b, "%-20s %-8s %-8s %12s %14s\n", "Phase", "Attack", "Verdict", "States", "Time")
+	for _, pr := range a.Phases {
+		for i, v := range pr.Verdicts {
+			if v == 0 {
+				continue // attack not run
+			}
+			fmt.Fprintf(&b, "%-20s %-8d %-8s %12d %14s\n",
+				pr.Spec.Name, i+1, v, pr.States[i],
+				pr.Elapsed[i].Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+// FigureChart renders one program's Figure 5–11 panel as an ASCII bar chart
+// of ROSA search cost per (phase, attack), using states explored as the
+// machine-independent cost measure the wall-clock bars of the paper's
+// figures are proportional to. Bars are log-scaled so the quick attack-3/4
+// verdicts stay visible next to the /dev/mem searches.
+func FigureChart(a *core.Analysis) string {
+	const width = 44
+	maxStates := 1
+	for _, pr := range a.Phases {
+		for _, s := range pr.States {
+			if s > maxStates {
+				maxStates = s
+			}
+		}
+	}
+	scale := float64(width) / math.Log1p(float64(maxStates))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Search cost for %s (log-scaled states explored; %s)\n",
+		a.Program.Name, "✓ vulnerable / ✗ safe / ⏱ budget")
+	for _, pr := range a.Phases {
+		fmt.Fprintf(&b, "%s\n", pr.Spec.Name)
+		for i, v := range pr.Verdicts {
+			if v == 0 {
+				continue
+			}
+			n := int(math.Log1p(float64(pr.States[i])) * scale)
+			if n < 1 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  attack%d %s |%s %d states, %s\n",
+				i+1, v, strings.Repeat("█", n), pr.States[i],
+				pr.Elapsed[i].Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}

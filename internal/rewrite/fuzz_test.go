@@ -1,0 +1,43 @@
+package rewrite
+
+import "testing"
+
+// FuzzParseTerm checks the term parser never panics and accepted inputs
+// round-trip (ground terms render back to parseable text).
+func FuzzParseTerm(f *testing.F) {
+	for _, seed := range []string{
+		"42", "-1", `"str"`, "run", "open(1,3,0,128)",
+		"Process(1,10,11,12,10,11,12,run,set,set)",
+		"X:Int", "Z:Configuration", "f(g(h(1)),\"x\")",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		term, err := ParseTerm(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseTerm(term.String())
+		if err != nil {
+			t.Fatalf("rendered term does not reparse: %v (%s)", err, term)
+		}
+		if !again.Equal(term) {
+			t.Fatalf("round trip changed term: %s vs %s", term, again)
+		}
+	})
+}
+
+// FuzzParseConfig checks multi-term configuration parsing.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("a b c\nopen(1,2,3,4)\n# comment\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := ParseConfig(src)
+		if err != nil {
+			return
+		}
+		if cfg.Kind != Config {
+			t.Fatalf("ParseConfig returned %v", cfg.Kind)
+		}
+	})
+}

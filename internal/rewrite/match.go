@@ -1,0 +1,167 @@
+package rewrite
+
+// Signature assigns result sorts to constructor symbols, so sorted variables
+// (e.g. G:procState) only match terms of their sort. Integers always have
+// sort "Int", strings "String", and configurations "Configuration"; symbols
+// absent from the signature have the empty sort, which only unsorted
+// variables match.
+type Signature map[string]string
+
+// Built-in sort names.
+const (
+	SortInt    = "Int"
+	SortString = "String"
+	SortConfig = "Configuration"
+)
+
+// SortOf returns the sort of a term under the signature.
+func (s Signature) SortOf(t *Term) string {
+	switch t.Kind {
+	case Int:
+		return SortInt
+	case Str:
+		return SortString
+	case Config:
+		return SortConfig
+	case Op:
+		return s[t.Sym]
+	default:
+		return ""
+	}
+}
+
+// Match returns every binding under which pattern matches subject. Matching
+// is syntactic for constructor terms and associative-commutative for
+// configurations: a configuration pattern's non-variable elements match an
+// injective selection of subject elements in any order, and at most one
+// configuration-sorted variable absorbs the remainder (Maude's
+// "Z:Configuration rest" idiom). Variables bound earlier must match equal
+// terms when reused (non-linear patterns).
+func Match(pattern, subject *Term, sig Signature) []Binding {
+	var out []Binding
+	match(pattern, subject, Binding{}, sig, func(b Binding) { out = append(out, b.clone()) })
+	return out
+}
+
+// Matches reports whether pattern matches subject under at least one
+// binding.
+func Matches(pattern, subject *Term, sig Signature) bool {
+	found := false
+	match(pattern, subject, Binding{}, sig, func(Binding) { found = true })
+	return found
+}
+
+// match enumerates bindings, invoking yield for each complete solution. The
+// binding passed in is extended in place and restored on backtrack.
+func match(pat, subj *Term, b Binding, sig Signature, yield func(Binding)) {
+	switch pat.Kind {
+	case Int:
+		if subj.Kind == Int && subj.IntVal == pat.IntVal {
+			yield(b)
+		}
+	case Str:
+		if subj.Kind == Str && subj.StrVal == pat.StrVal {
+			yield(b)
+		}
+	case Var:
+		if pat.Sort != "" && sig.SortOf(subj) != pat.Sort {
+			return
+		}
+		if prev, ok := b[pat.Sym]; ok {
+			if prev.Equal(subj) {
+				yield(b)
+			}
+			return
+		}
+		b[pat.Sym] = subj
+		yield(b)
+		delete(b, pat.Sym)
+	case Op:
+		if subj.Kind != Op || subj.Sym != pat.Sym || len(subj.Args) != len(pat.Args) {
+			return
+		}
+		matchSeq(pat.Args, subj.Args, 0, b, sig, yield)
+	case Config:
+		if subj.Kind != Config {
+			return
+		}
+		matchConfig(pat, subj, b, sig, yield)
+	}
+}
+
+// matchSeq matches pattern arguments positionally.
+func matchSeq(pats, subjs []*Term, i int, b Binding, sig Signature, yield func(Binding)) {
+	if i == len(pats) {
+		yield(b)
+		return
+	}
+	match(pats[i], subjs[i], b, sig, func(b2 Binding) {
+		matchSeq(pats, subjs, i+1, b2, sig, yield)
+	})
+}
+
+// matchConfig implements AC matching of a configuration pattern: fixed
+// elements are matched against distinct subject elements in any order; at
+// most one configuration-sorted (or unsorted) variable element captures the
+// remainder.
+func matchConfig(pat, subj *Term, b Binding, sig Signature, yield func(Binding)) {
+	var fixed []*Term
+	var rest *Term
+	for _, e := range pat.Args {
+		if e.Kind == Var && (e.Sort == "" || e.Sort == SortConfig) {
+			if rest != nil {
+				// Two remainder variables are ambiguous; treat the second
+				// as unmatchable rather than guessing.
+				return
+			}
+			rest = e
+			continue
+		}
+		fixed = append(fixed, e)
+	}
+	if rest == nil && len(fixed) != len(subj.Args) {
+		return
+	}
+	if len(fixed) > len(subj.Args) {
+		return
+	}
+
+	used := make([]bool, len(subj.Args))
+	var assign func(i int)
+	assign = func(i int) {
+		if i == len(fixed) {
+			if rest == nil {
+				yield(b)
+				return
+			}
+			var remainder []*Term
+			for j, u := range used {
+				if !u {
+					remainder = append(remainder, subj.Args[j])
+				}
+			}
+			remTerm := NewConfig(remainder...)
+			if prev, ok := b[rest.Sym]; ok {
+				if prev.Equal(remTerm) {
+					yield(b)
+				}
+				return
+			}
+			b[rest.Sym] = remTerm
+			yield(b)
+			delete(b, rest.Sym)
+			return
+		}
+		for j := range subj.Args {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			match(fixed[i], subj.Args[j], b, sig, func(b2 Binding) {
+				assign(i + 1)
+			})
+			used[j] = false
+		}
+	}
+	assign(0)
+}

@@ -1,0 +1,358 @@
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rule is one rewrite rule (or equation). A rule fires where its LHS matches;
+// the replacement is RHS with the binding substituted, unless Build is set,
+// in which case Build computes the replacement (Maude's built-in operations
+// and arithmetic conditions are expressed this way). Cond, if set, guards
+// the rule (a conditional rule, Maude's `crl ... if ...`).
+type Rule struct {
+	// Name labels the rule in witnesses and diagnostics.
+	Name string
+	// LHS is the pattern.
+	LHS *Term
+	// RHS is the template substituted under the match binding; ignored when
+	// Build is set.
+	RHS *Term
+	// Build computes the replacement from the binding; returning ok=false
+	// vetoes the application (a semantic side condition).
+	Build func(b Binding) (t *Term, ok bool)
+	// BuildAll computes zero or more replacements from one match; rules
+	// whose effect enumerates choices (ROSA's wildcard system-call
+	// arguments) use this. Takes precedence over Build and RHS.
+	BuildAll func(b Binding) []*Term
+	// Cond guards the rule; nil means always applicable.
+	Cond func(b Binding) bool
+}
+
+// apply returns every replacement term the rule produces at the root of t.
+func (r *Rule) apply(t *Term, sig Signature) []*Term {
+	var out []*Term
+	match(r.LHS, t, Binding{}, sig, func(b Binding) {
+		if r.Cond != nil && !r.Cond(b) {
+			return
+		}
+		if r.BuildAll != nil {
+			out = append(out, r.BuildAll(b)...)
+			return
+		}
+		if r.Build != nil {
+			if nt, ok := r.Build(b); ok {
+				out = append(out, nt)
+			}
+			return
+		}
+		out = append(out, Subst(r.RHS, b))
+	})
+	return out
+}
+
+// System is a rewrite theory: a signature, equations (deterministic
+// simplification applied to a unique normal form), and rules (the
+// non-deterministic transitions the search explores).
+type System struct {
+	// Sig assigns sorts to constructor symbols.
+	Sig Signature
+	// Eqs are equations, applied innermost-first to a fixed point by
+	// Normalize. They must be confluent and terminating.
+	Eqs []Rule
+	// Rules are the transition rules.
+	Rules []Rule
+}
+
+// maxNormalizeSteps guards against non-terminating equation sets.
+const maxNormalizeSteps = 100_000
+
+// ErrNormalize is returned when equational simplification fails to reach a
+// normal form within the step budget.
+var ErrNormalize = errors.New("rewrite: equations did not terminate")
+
+// Normalize applies equations innermost-first until no equation applies.
+func (s *System) Normalize(t *Term) (*Term, error) {
+	steps := 0
+	var norm func(t *Term) (*Term, error)
+	norm = func(t *Term) (*Term, error) {
+		// Normalize children first (innermost).
+		switch t.Kind {
+		case Op, Config:
+			args := make([]*Term, len(t.Args))
+			changed := false
+			for i, a := range t.Args {
+				na, err := norm(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = na
+				if na != a {
+					changed = true
+				}
+			}
+			if changed {
+				if t.Kind == Op {
+					t = NewOp(t.Sym, args...)
+				} else {
+					t = NewConfig(args...)
+				}
+			}
+		}
+		// Then the root, repeating until stable.
+		for {
+			if steps++; steps > maxNormalizeSteps {
+				return nil, ErrNormalize
+			}
+			applied := false
+			for i := range s.Eqs {
+				if reps := s.Eqs[i].apply(t, s.Sig); len(reps) > 0 {
+					nt, err := norm(reps[0])
+					if err != nil {
+						return nil, err
+					}
+					t = nt
+					applied = true
+					break
+				}
+			}
+			if !applied {
+				return t, nil
+			}
+		}
+	}
+	return norm(t)
+}
+
+// Step is one rule application in a search witness.
+type Step struct {
+	// Rule is the name of the applied rule.
+	Rule string
+	// Result is the state after the application.
+	Result *Term
+}
+
+// Successors returns every state reachable from t by one rule application.
+// Rules are tried at the root and, recursively, at every subterm position
+// (congruence), then the results are normalized. Duplicate successors are
+// coalesced by canonical rendering.
+func (s *System) Successors(t *Term) ([]Step, error) {
+	var steps []Step
+	seen := make(map[string]bool)
+	emit := func(name string, nt *Term) error {
+		norm, err := s.Normalize(nt)
+		if err != nil {
+			return err
+		}
+		key := norm.String()
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		steps = append(steps, Step{Rule: name, Result: norm})
+		return nil
+	}
+
+	var walk func(t *Term, rebuild func(*Term) *Term) error
+	walk = func(t *Term, rebuild func(*Term) *Term) error {
+		for i := range s.Rules {
+			for _, rep := range s.Rules[i].apply(t, s.Sig) {
+				if err := emit(s.Rules[i].Name, rebuild(rep)); err != nil {
+					return err
+				}
+			}
+		}
+		if t.Kind == Op || t.Kind == Config {
+			for i, a := range t.Args {
+				i, a := i, a
+				err := walk(a, func(na *Term) *Term {
+					args := make([]*Term, len(t.Args))
+					copy(args, t.Args)
+					args[i] = na
+					if t.Kind == Op {
+						return rebuild(NewOp(t.Sym, args...))
+					}
+					return rebuild(NewConfig(args...))
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t, func(nt *Term) *Term { return nt }); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// SearchOptions bounds a search.
+type SearchOptions struct {
+	// MaxDepth bounds the number of rule applications along a path;
+	// 0 means unbounded (the visited set still guarantees termination on
+	// finite state spaces).
+	MaxDepth int
+	// MaxStates aborts the search after visiting this many states;
+	// 0 means unbounded.
+	MaxStates int
+	// Dedup controls visited-state deduplication; it defaults to on and
+	// exists so the ablation benchmark can turn it off.
+	Dedup *bool
+	// DepthFirst explores the frontier LIFO instead of FIFO. BFS (the
+	// default, what Maude's search does) finds shortest witnesses and
+	// reaches quick verdicts on possible attacks; the DFS ablation shows
+	// why that matters.
+	DepthFirst bool
+}
+
+// SearchResult reports the outcome of a search.
+type SearchResult struct {
+	// Found reports whether a goal state was reached.
+	Found bool
+	// Witness is the rule sequence from the initial state to the goal
+	// (empty if the initial state already matches).
+	Witness []Step
+	// Final is the matched goal state, nil if not found.
+	Final *Term
+	// StatesExplored counts distinct states visited.
+	StatesExplored int
+	// Truncated reports that the search hit MaxStates before exhausting the
+	// space (the paper's ROSA timeouts, ⏱ in Table V).
+	Truncated bool
+}
+
+// Goal is a search target: a pattern with variables plus an optional
+// semantic condition on the match (Maude's `such that`).
+type Goal struct {
+	// Pattern must match the state.
+	Pattern *Term
+	// Cond, if set, must accept some binding of the pattern match.
+	Cond func(b Binding) bool
+}
+
+// matches reports whether state satisfies the goal.
+func (g Goal) matches(state *Term, sig Signature) bool {
+	ok := false
+	match(g.Pattern, state, Binding{}, sig, func(b Binding) {
+		if g.Cond == nil || g.Cond(b) {
+			ok = true
+		}
+	})
+	return ok
+}
+
+// Search runs Maude-style `search init =>* goal` as a breadth-first
+// exploration of the rule-transition graph, returning the shortest witness
+// when the goal is reachable.
+func (s *System) Search(init *Term, goal Goal, opts SearchOptions) (*SearchResult, error) {
+	start, err := s.Normalize(init)
+	if err != nil {
+		return nil, err
+	}
+	dedup := true
+	if opts.Dedup != nil {
+		dedup = *opts.Dedup
+	}
+
+	type node struct {
+		state *Term
+		path  []Step
+		depth int
+	}
+	res := &SearchResult{}
+	res.StatesExplored = 1
+	// Goal states are recognised the moment they are generated, as Maude's
+	// search does, so a found verdict does not pay for the whole frontier.
+	if goal.matches(start, s.Sig) {
+		res.Found = true
+		res.Final = start
+		return res, nil
+	}
+	queue := []node{{state: start}}
+	visited := map[string]bool{start.String(): true}
+
+	for len(queue) > 0 {
+		var n node
+		if opts.DepthFirst {
+			n = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			n = queue[0]
+			queue = queue[1:]
+		}
+
+		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
+			continue
+		}
+		succs, err := s.Successors(n.state)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range succs {
+			key := st.Result.String()
+			if dedup && visited[key] {
+				continue
+			}
+			if dedup {
+				visited[key] = true
+			}
+			res.StatesExplored++
+			path := make([]Step, len(n.path)+1)
+			copy(path, n.path)
+			path[len(n.path)] = st
+			if goal.matches(st.Result, s.Sig) {
+				res.Found = true
+				res.Witness = path
+				res.Final = st.Result
+				return res, nil
+			}
+			if opts.MaxStates > 0 && res.StatesExplored > opts.MaxStates {
+				res.Truncated = true
+				return res, nil
+			}
+			queue = append(queue, node{state: st.Result, path: path, depth: n.depth + 1})
+		}
+	}
+	return res, nil
+}
+
+// FormatWitness renders a witness as numbered rule applications, one per
+// line, like Maude's search solution output.
+func FormatWitness(w []Step) string {
+	if len(w) == 0 {
+		return "(initial state matches)"
+	}
+	out := ""
+	for i, st := range w {
+		out += fmt.Sprintf("%2d. %s -> %s\n", i+1, st.Rule, st.Result)
+	}
+	return out
+}
+
+// Rewrite is Maude's `rewrite` command: starting from t, repeatedly apply
+// the first applicable rule (after equational normalization) until no rule
+// applies or maxSteps rule applications have been performed. Unlike Search,
+// which explores all interleavings, Rewrite follows one deterministic
+// execution — useful for simulating a single run of a specification. It
+// returns the final term, the steps taken, and whether it stopped because
+// the budget ran out.
+func (s *System) Rewrite(t *Term, maxSteps int) (*Term, []Step, bool, error) {
+	cur, err := s.Normalize(t)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	var trace []Step
+	for steps := 0; maxSteps <= 0 || steps < maxSteps; steps++ {
+		succs, err := s.Successors(cur)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if len(succs) == 0 {
+			return cur, trace, false, nil
+		}
+		cur = succs[0].Result
+		trace = append(trace, succs[0])
+	}
+	return cur, trace, true, nil
+}

@@ -1,0 +1,244 @@
+// Package rewrite is a miniature Maude: a term rewriting engine providing
+// the fragment of Maude 2.7 that the paper's ROSA bounded model checker uses
+// (§IV, §VI). It supports constructor terms with sorts, variables,
+// equational simplification, conditional rewrite rules with computed
+// right-hand sides, associative-commutative matching over object
+// configurations (the Object Maude "soup" of objects and messages), and a
+// bounded breadth-first search command with canonical-state deduplication —
+// the counterpart of Maude's `search` used in the paper's Figure 4.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates term shapes.
+type Kind uint8
+
+// Term kinds.
+const (
+	// Int is an integer constant.
+	Int Kind = iota + 1
+	// Str is a string constant.
+	Str
+	// Op is a constructor application: a symbol with zero or more argument
+	// terms. A zero-argument Op is a constant symbol.
+	Op
+	// Var is a named variable, optionally constrained to a sort; it appears
+	// only in patterns.
+	Var
+	// Config is an associative-commutative multiset of terms — Object
+	// Maude's configuration of objects and messages.
+	Config
+)
+
+// Term is an immutable term. Construct terms with the helper functions and
+// never mutate fields after construction; the engine shares subterms freely.
+// String memoizes its rendering in the term, so a Term value must not be
+// rendered concurrently from multiple goroutines unless it was fully
+// rendered once beforehand; independent queries build independent terms.
+type Term struct {
+	Kind Kind
+	// Sym is the constructor symbol (Op) or variable name (Var).
+	Sym string
+	// Sort constrains a Var; empty matches any sort.
+	Sort string
+	// IntVal is the value of an Int term.
+	IntVal int64
+	// StrVal is the value of a Str term.
+	StrVal string
+	// Args are the arguments of an Op or the elements of a Config.
+	Args []*Term
+
+	str string // memoized canonical rendering
+}
+
+// NewInt returns an integer term.
+func NewInt(v int64) *Term { return &Term{Kind: Int, IntVal: v} }
+
+// NewStr returns a string term.
+func NewStr(s string) *Term { return &Term{Kind: Str, StrVal: s} }
+
+// NewOp returns a constructor application.
+func NewOp(sym string, args ...*Term) *Term {
+	return &Term{Kind: Op, Sym: sym, Args: args}
+}
+
+// NewVar returns a variable with an optional sort constraint (empty sort
+// matches anything), e.g. NewVar("Z", "Configuration").
+func NewVar(name, sort string) *Term {
+	return &Term{Kind: Var, Sym: name, Sort: sort}
+}
+
+// NewConfig returns a configuration holding the given elements. Nested
+// configurations are flattened (associativity).
+func NewConfig(elems ...*Term) *Term {
+	flat := make([]*Term, 0, len(elems))
+	for _, e := range elems {
+		if e == nil {
+			continue
+		}
+		if e.Kind == Config {
+			flat = append(flat, e.Args...)
+		} else {
+			flat = append(flat, e)
+		}
+	}
+	return &Term{Kind: Config, Args: flat}
+}
+
+// IsInt reports whether t is an integer term.
+func (t *Term) IsInt() bool { return t != nil && t.Kind == Int }
+
+// MustInt returns the value of an integer term, panicking otherwise; use in
+// rule bodies after sorts have been checked by matching.
+func (t *Term) MustInt() int64 {
+	if !t.IsInt() {
+		panic(fmt.Sprintf("rewrite: MustInt on %s", t))
+	}
+	return t.IntVal
+}
+
+// Equal reports structural equality modulo configuration element order.
+func (t *Term) Equal(u *Term) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil {
+		return false
+	}
+	return t.String() == u.String()
+}
+
+// String renders the term canonically: configurations print their elements
+// sorted, so equal configurations render identically (the property the
+// search's visited-state set relies on).
+func (t *Term) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.str != "" {
+		return t.str
+	}
+	var b strings.Builder
+	t.render(&b)
+	t.str = b.String()
+	return t.str
+}
+
+func (t *Term) render(b *strings.Builder) {
+	switch t.Kind {
+	case Int:
+		b.WriteString(strconv.FormatInt(t.IntVal, 10))
+	case Str:
+		b.WriteString(strconv.Quote(t.StrVal))
+	case Var:
+		b.WriteString(t.Sym)
+		b.WriteByte(':')
+		if t.Sort == "" {
+			b.WriteString("Universal")
+		} else {
+			b.WriteString(t.Sort)
+		}
+	case Op:
+		b.WriteString(t.Sym)
+		if len(t.Args) > 0 {
+			b.WriteByte('(')
+			for i, a := range t.Args {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				a.render(b)
+			}
+			b.WriteByte(')')
+		}
+	case Config:
+		keys := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			keys[i] = a.String()
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(k)
+		}
+		b.WriteByte('}')
+	default:
+		b.WriteString("<bad term>")
+	}
+}
+
+// HasVars reports whether the term contains any variables.
+func (t *Term) HasVars() bool {
+	switch t.Kind {
+	case Var:
+		return true
+	case Op, Config:
+		for _, a := range t.Args {
+			if a.HasVars() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Binding maps variable names to terms.
+type Binding map[string]*Term
+
+// clone copies a binding for backtracking.
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Int returns the bound integer value for a variable, with ok=false if the
+// variable is unbound or not an integer.
+func (b Binding) Int(name string) (int64, bool) {
+	t, ok := b[name]
+	if !ok || t.Kind != Int {
+		return 0, false
+	}
+	return t.IntVal, true
+}
+
+// Get returns the bound term for a variable, or nil.
+func (b Binding) Get(name string) *Term { return b[name] }
+
+// Subst replaces variables in t by their bindings. Unbound variables are
+// left in place. Configurations bound to configuration variables splice
+// their elements into the surrounding configuration.
+func Subst(t *Term, b Binding) *Term {
+	switch t.Kind {
+	case Int, Str:
+		return t
+	case Var:
+		if v, ok := b[t.Sym]; ok {
+			return v
+		}
+		return t
+	case Op:
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Subst(a, b)
+		}
+		return NewOp(t.Sym, args...)
+	case Config:
+		elems := make([]*Term, 0, len(t.Args))
+		for _, a := range t.Args {
+			elems = append(elems, Subst(a, b))
+		}
+		return NewConfig(elems...)
+	default:
+		return t
+	}
+}

@@ -1,0 +1,42 @@
+package rosa_test
+
+import (
+	"fmt"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/rosa"
+	"privanalyzer/internal/vkernel"
+)
+
+// Example reproduces the paper's worked example (Figures 2-4): a process
+// whose credentials match neither the owner nor the group of /etc/passwd
+// can still read it, by chowning the file to itself, chmodding it readable,
+// and opening it.
+func Example() {
+	q := &rosa.Query{
+		Objects: []*rewrite.Term{
+			rosa.Process(1, rosa.Creds{EUID: 10, RUID: 11, SUID: 12, EGID: 10, RGID: 11, SGID: 12}, nil, nil),
+			rosa.DirEntry(2, "/etc", vkernel.MustMode("rwxrwxrwx"), 40, 41, 3),
+			rosa.File(3, "/etc/passwd", vkernel.MustMode("---------"), 40, 41),
+			rosa.User(10),
+		},
+		Messages: []*rewrite.Term{
+			rosa.OpenMsg(1, 3, rosa.OpenRead, caps.EmptySet),
+			rosa.SetuidMsg(1, rosa.Wild, caps.NewSet(caps.CapSetuid)),
+			rosa.ChownMsg(1, rosa.Wild, rosa.Wild, 41, caps.NewSet(caps.CapChown)),
+			rosa.ChmodMsg(1, rosa.Wild, vkernel.MustMode("rwxrwxrwx"), caps.EmptySet),
+		},
+		Goal: rosa.GoalFileInReadSet(3),
+	}
+	res, _ := q.Run()
+	fmt.Println("verdict:", res.Verdict)
+	for _, step := range res.Witness {
+		fmt.Println("step:", step.Rule)
+	}
+	// Output:
+	// verdict: ✓
+	// step: chown
+	// step: chmod
+	// step: open
+}

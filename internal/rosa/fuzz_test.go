@@ -1,0 +1,21 @@
+package rosa
+
+import "testing"
+
+// FuzzParseQuery checks the query-file parser never panics and that accepted
+// queries run without engine errors under a tiny budget.
+func FuzzParseQuery(f *testing.F) {
+	f.Add(figure2Query)
+	f.Add("objects:\nUser(1)\ngoal: read 3\n")
+	f.Add("objects:\nProcess(1,0,0,0,0,0,0,run,set,set)\nmessages:\nkill(1,-1,9,32)\ngoal: killed 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		q.MaxStates = 50
+		if _, err := q.Run(); err != nil {
+			t.Fatalf("accepted query fails to run: %v", err)
+		}
+	})
+}

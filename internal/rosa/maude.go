@@ -1,0 +1,171 @@
+package rosa
+
+import (
+	"fmt"
+	"strings"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/vkernel"
+)
+
+// This file renders ROSA configurations and queries in the concrete Maude
+// syntax of the paper's Figures 2–4, so a query built with this package can
+// be inspected — or fed to a real Maude 2.7 + Full Maude installation
+// running the original ROSA module — in the exact shape the paper prints.
+
+// MaudeTerm renders one object or message term in ROSA's Maude syntax.
+func MaudeTerm(t *rewrite.Term) string {
+	if t == nil {
+		return ""
+	}
+	switch {
+	case t.Kind == rewrite.Op && t.Sym == symProcess && len(t.Args) == processArity:
+		return maudeProcess(t)
+	case t.Kind == rewrite.Op && t.Sym == symFile && len(t.Args) == fileArity:
+		return fmt.Sprintf("< %d : File | name : %q ,\n             perms : %s ,\n             owner : %d , group : %d >",
+			t.Args[fID].IntVal, t.Args[fName].StrVal,
+			maudePerms(vkernel.Mode(t.Args[fPerms].IntVal)),
+			t.Args[fOwner].IntVal, t.Args[fGroup].IntVal)
+	case t.Kind == rewrite.Op && t.Sym == symDir && len(t.Args) == dirArity:
+		return fmt.Sprintf("< %d : Dir | name : %q ,\n            perms : %s ,\n            inode : %d , owner : %d , group : %d >",
+			t.Args[fID].IntVal, t.Args[fName].StrVal,
+			maudePerms(vkernel.Mode(t.Args[fPerms].IntVal)),
+			t.Args[dInode].IntVal, t.Args[fOwner].IntVal, t.Args[fGroup].IntVal)
+	case t.Kind == rewrite.Op && t.Sym == symSocket && len(t.Args) == 2:
+		return fmt.Sprintf("< %d : Socket | port : %d >", t.Args[0].IntVal, t.Args[1].IntVal)
+	case t.Kind == rewrite.Op && t.Sym == symUser && len(t.Args) == 1:
+		return fmt.Sprintf("< %d : User | uid : %d >", t.Args[0].IntVal, t.Args[0].IntVal)
+	case t.Kind == rewrite.Op && t.Sym == symGroup && len(t.Args) == 1:
+		return fmt.Sprintf("< %d : Group | gid : %d >", t.Args[0].IntVal, t.Args[0].IntVal)
+	case t.Kind == rewrite.Op:
+		// A syscall message: open(1,3,r - -,empty).
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = maudeArg(t.Sym, i, a)
+		}
+		return fmt.Sprintf("%s(%s)", t.Sym, strings.Join(parts, ","))
+	default:
+		return t.String()
+	}
+}
+
+func maudeProcess(t *rewrite.Term) string {
+	return fmt.Sprintf("< %d : Process | euid : %d , ruid : %d , suid : %d ,\n"+
+		"                 egid : %d , rgid : %d , sgid : %d ,\n"+
+		"                 state : %s ,\n"+
+		"                 rdfset : %s , wrfset : %s >",
+		t.Args[pID].IntVal,
+		t.Args[pEUID].IntVal, t.Args[pRUID].IntVal, t.Args[pSUID].IntVal,
+		t.Args[pEGID].IntVal, t.Args[pRGID].IntVal, t.Args[pSGID].IntVal,
+		t.Args[pState].Sym, maudeSet(t.Args[pRdf]), maudeSet(t.Args[pWrf]))
+}
+
+func maudeSet(t *rewrite.Term) string {
+	if t == nil || t.Kind != rewrite.Op || len(t.Args) == 0 {
+		return "empty"
+	}
+	parts := make([]string, len(t.Args))
+	for i, e := range t.Args {
+		parts[i] = fmt.Sprint(e.IntVal)
+	}
+	return strings.Join(parts, " , ")
+}
+
+// maudePerms renders a mode word the way the paper spaces it: "r w x r w x r w x".
+func maudePerms(m vkernel.Mode) string {
+	s := m.String()
+	out := make([]byte, 0, len(s)*2)
+	for i := 0; i < len(s); i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// maudeArg renders one message argument. Privilege-set arguments (always the
+// final position) become Maude privilege constants; open modes become the
+// "r - -" rendering; everything else prints numerically.
+func maudeArg(sym string, pos int, a *rewrite.Term) string {
+	if !a.IsInt() {
+		return a.String()
+	}
+	last := map[string]int{
+		"open": 3, "chmod": 3, "fchmod": 3, "unlink": 2, "rename": 3,
+		"chown": 4, "fchown": 4,
+		"setuid": 2, "seteuid": 2, "setgid": 2, "setegid": 2,
+		"setresuid": 4, "setresgid": 4,
+		"kill": 3, "socket": 2, "bind": 3, "connect": 3,
+	}
+	if p, ok := last[sym]; ok && pos == p {
+		return maudePrivs(caps.Set(a.IntVal))
+	}
+	if sym == "open" && pos == 2 {
+		switch a.IntVal {
+		case OpenRead:
+			return "r - -"
+		case OpenWrite:
+			return "- w -"
+		case OpenRDWR:
+			return "r w -"
+		}
+	}
+	if (sym == "chmod" || sym == "fchmod") && pos == 2 {
+		return maudePerms(vkernel.Mode(a.IntVal))
+	}
+	return fmt.Sprint(a.IntVal)
+}
+
+// maudePrivs renders a capability set as ROSA's privilege constants:
+// "empty", "CapSetuid", or "(CapChown ; CapSetuid)".
+func maudePrivs(s caps.Set) string {
+	if s.IsEmpty() {
+		return "empty"
+	}
+	names := make([]string, 0, s.Len())
+	for _, c := range s.Caps() {
+		names = append(names, c.String())
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	return "(" + strings.Join(names, " ; ") + ")"
+}
+
+// MaudeSearch renders the complete Maude search command for a query — the
+// paper's Figure 4 — with the compromised-state pattern expressed over
+// fresh variables and the goal's semantic condition summarised in the
+// `such that` clause.
+func (q *Query) MaudeSearch(suchThat string) string {
+	var b strings.Builder
+	b.WriteString("(search in UNIX :\n")
+	for _, o := range q.Objects {
+		writeIndented(&b, MaudeTerm(o))
+	}
+	for _, m := range q.Messages {
+		writeIndented(&b, MaudeTerm(m))
+	}
+	b.WriteString(" =>* Z:Configuration\n")
+	b.WriteString("  < 1 : Process | euid : A:Int , ruid : B:Int ,\n")
+	b.WriteString("                  suid : C:Int ,\n")
+	b.WriteString("                  egid : D:Int , rgid : E:Int ,\n")
+	b.WriteString("                  sgid : F:Int , state : G:procState ,\n")
+	b.WriteString("                  rdfset : H:Set{Int} ,\n")
+	b.WriteString("                  wrfset : I:Set{Int} >\n")
+	if suchThat != "" {
+		fmt.Fprintf(&b, "  such that (%s) .)\n", suchThat)
+	} else {
+		b.WriteString("  .)\n")
+	}
+	return b.String()
+}
+
+func writeIndented(b *strings.Builder, s string) {
+	for _, line := range strings.Split(s, "\n") {
+		b.WriteString(" ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+}

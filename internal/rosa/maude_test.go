@@ -1,0 +1,121 @@
+package rosa
+
+import (
+	"strings"
+	"testing"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/vkernel"
+)
+
+func TestMaudeTermObjects(t *testing.T) {
+	tests := []struct {
+		name string
+		term string
+		want []string
+	}{
+		{
+			"process",
+			MaudeTerm(Process(1, Creds{EUID: 10, RUID: 11, SUID: 12, EGID: 10, RGID: 11, SGID: 12}, nil, nil)),
+			[]string{
+				"< 1 : Process | euid : 10 , ruid : 11 , suid : 12 ,",
+				"egid : 10 , rgid : 11 , sgid : 12 ,",
+				"state : run ,",
+				"rdfset : empty , wrfset : empty >",
+			},
+		},
+		{
+			"file",
+			MaudeTerm(File(3, "/etc/passwd", vkernel.MustMode("---------"), 40, 41)),
+			[]string{
+				`< 3 : File | name : "/etc/passwd" ,`,
+				"perms : - - - - - - - - - ,",
+				"owner : 40 , group : 41 >",
+			},
+		},
+		{
+			"dir",
+			MaudeTerm(DirEntry(2, "/etc", vkernel.MustMode("rwxrwxrwx"), 40, 41, 3)),
+			[]string{
+				`< 2 : Dir | name : "/etc" ,`,
+				"perms : r w x r w x r w x ,",
+				"inode : 3 , owner : 40 , group : 41 >",
+			},
+		},
+		{
+			"user",
+			MaudeTerm(User(10)),
+			[]string{"< 10 : User | uid : 10 >"},
+		},
+		{
+			"socket",
+			MaudeTerm(SocketObj(7, 22)),
+			[]string{"< 7 : Socket | port : 22 >"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, w := range tt.want {
+				if !strings.Contains(tt.term, w) {
+					t.Errorf("missing %q in:\n%s", w, tt.term)
+				}
+			}
+		})
+	}
+}
+
+func TestMaudeTermMessages(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		// The four messages of the paper's Figure 2, rendered verbatim.
+		{MaudeTerm(OpenMsg(1, 3, OpenRead, caps.EmptySet)), "open(1,3,r - -,empty)"},
+		{MaudeTerm(SetuidMsg(1, Wild, caps.NewSet(caps.CapSetuid))), "setuid(1,-1,CapSetuid)"},
+		{MaudeTerm(ChownMsg(1, Wild, Wild, 41, caps.NewSet(caps.CapChown))), "chown(1,-1,-1,41,CapChown)"},
+		{MaudeTerm(ChmodMsg(1, Wild, vkernel.MustMode("rwxrwxrwx"), caps.EmptySet)), "chmod(1,-1,r w x r w x r w x,empty)"},
+		// Multi-privilege sets use Maude's set union.
+		{
+			MaudeTerm(KillMsg(1, 4, 9, caps.NewSet(caps.CapKill, caps.CapSetuid))),
+			"kill(1,4,9,(CapKill ; CapSetuid))",
+		},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("MaudeTerm = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestMaudeSearchFigure4(t *testing.T) {
+	// Rebuild the paper's worked example and check the rendered search
+	// command carries the Figure 2 start state and the Figure 3/4 goal.
+	q := workedExample()
+	out := q.MaudeSearch("3 in H:Set{Int}")
+	for _, w := range []string{
+		"(search in UNIX :",
+		"< 1 : Process | euid : 10 , ruid : 11 , suid : 12 ,",
+		`< 2 : Dir | name : "/etc" ,`,
+		`< 3 : File | name : "/etc/passwd" ,`,
+		"< 10 : User | uid : 10 >",
+		"open(1,3,r - -,empty)",
+		"setuid(1,-1,CapSetuid)",
+		"chown(1,-1,-1,41,CapChown)",
+		"chmod(1,-1,r w x r w x r w x,empty)",
+		"=>* Z:Configuration",
+		"rdfset : H:Set{Int} ,",
+		"such that (3 in H:Set{Int}) .)",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("MaudeSearch missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestMaudeSetRendering(t *testing.T) {
+	p := Process(1, UniformCreds(0, 0), SetOf(3, 7), nil)
+	got := MaudeTerm(p)
+	if !strings.Contains(got, "rdfset : 3 , 7 ,") && !strings.Contains(got, "rdfset : 3 , 7 ") {
+		t.Errorf("set rendering wrong:\n%s", got)
+	}
+}

@@ -1,0 +1,210 @@
+package rosa
+
+import (
+	"fmt"
+	"time"
+
+	"privanalyzer/internal/rewrite"
+)
+
+// Verdict is ROSA's answer for one (attack, privilege set, credentials)
+// combination.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// Safe: the compromised state is unreachable; the search exhausted the
+	// bounded state space without finding it (✗ in the paper's tables).
+	Safe Verdict = iota + 1
+	// Vulnerable: a reachable state matches the compromised-state pattern
+	// (✓ in the paper's tables).
+	Vulnerable
+	// Unknown: the search exceeded its state budget before reaching a
+	// verdict (the ⏱ timeouts of Table V).
+	Unknown
+)
+
+// String renders the verdict with the paper's glyphs.
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "✗"
+	case Vulnerable:
+		return "✓"
+	case Unknown:
+		return "⏱"
+	default:
+		return "?"
+	}
+}
+
+// Query is one bounded model-checking question: from an initial
+// configuration of objects and syscall messages, can a state matching Goal
+// be reached?
+type Query struct {
+	// Objects are the initial objects (processes, files, dirs, sockets,
+	// users, groups).
+	Objects []*rewrite.Term
+	// Messages are the syscall messages the attacker may consume, each
+	// usable once (§V-B: the user specifies how many times each system call
+	// may be used by adding that many messages).
+	Messages []*rewrite.Term
+	// Goal is the compromised-state pattern.
+	Goal rewrite.Goal
+	// MaxStates bounds the search (0 = DefaultMaxStates); exceeding it
+	// yields the Unknown verdict.
+	MaxStates int
+	// MaxDepth bounds the path length (0 = unbounded).
+	MaxDepth int
+	// DepthFirst switches the search to LIFO frontier order (ablation
+	// only; Maude's search and the default are breadth-first).
+	DepthFirst bool
+	// Dedup overrides visited-state deduplication (ablation only; nil
+	// means on).
+	Dedup *bool
+	// Extended runs the query against the §X extended system (Capsicum
+	// capability mode, CFI sequencing). Queries without extension objects
+	// get identical verdicts either way.
+	Extended bool
+}
+
+// DefaultMaxStates is the search budget standing in for the paper's
+// wall-clock timeout (they used 5 hours; state count is the deterministic
+// equivalent).
+const DefaultMaxStates = 2_000_000
+
+// Result is the outcome of running a query.
+type Result struct {
+	// Verdict is the ROSA answer.
+	Verdict Verdict
+	// Witness is the attack's syscall sequence when Vulnerable.
+	Witness []rewrite.Step
+	// StatesExplored counts distinct configurations visited.
+	StatesExplored int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// InitialState returns the query's initial configuration term.
+func (q *Query) InitialState() *rewrite.Term {
+	elems := make([]*rewrite.Term, 0, len(q.Objects)+len(q.Messages))
+	elems = append(elems, q.Objects...)
+	elems = append(elems, q.Messages...)
+	return rewrite.NewConfig(elems...)
+}
+
+// Run executes the bounded search and returns the verdict.
+func (q *Query) Run() (*Result, error) {
+	if q.Extended {
+		return q.runOn(NewExtendedSystem())
+	}
+	return q.runOn(NewSystem())
+}
+
+// runOn executes the query against an explicit rewrite theory (the base
+// system or the §X extended one).
+func (q *Query) runOn(sys *rewrite.System) (*Result, error) {
+	maxStates := q.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	start := time.Now()
+	sr, err := sys.Search(q.InitialState(), q.Goal, rewrite.SearchOptions{
+		MaxStates:  maxStates,
+		MaxDepth:   q.MaxDepth,
+		DepthFirst: q.DepthFirst,
+		Dedup:      q.Dedup,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rosa: %w", err)
+	}
+	res := &Result{
+		StatesExplored: sr.StatesExplored,
+		Elapsed:        time.Since(start),
+	}
+	switch {
+	case sr.Found:
+		res.Verdict = Vulnerable
+		res.Witness = sr.Witness
+	case sr.Truncated:
+		res.Verdict = Unknown
+	default:
+		res.Verdict = Safe
+	}
+	return res, nil
+}
+
+// GoalFileInReadSet is the paper's Figure 3 pattern: some running or
+// terminated process has file fid in its read set — the attacker opened the
+// file for reading.
+func GoalFileInReadSet(fid int) rewrite.Goal {
+	return goalOnProcessSet(fid, "Prdf")
+}
+
+// GoalFileInWriteSet: some process has file fid in its write set.
+func GoalFileInWriteSet(fid int) rewrite.Goal {
+	return goalOnProcessSet(fid, "Pwrf")
+}
+
+func goalOnProcessSet(fid int, which string) rewrite.Goal {
+	pat := rewrite.NewConfig(
+		rewrite.NewOp(symProcess,
+			iv("Pid"),
+			iv("Peuid"), iv("Pruid"), iv("Psuid"),
+			iv("Pegid"), iv("Prgid"), iv("Psgid"),
+			iv("Pstate"), iv("Prdf"), iv("Pwrf")),
+		zvar(),
+	)
+	return rewrite.Goal{
+		Pattern: pat,
+		Cond: func(b rewrite.Binding) bool {
+			return SetHas(b.Get(which), fid)
+		},
+	}
+}
+
+// GoalPortBoundBelow: some socket is bound to a port in (0, limit) — the
+// attacker masquerades as a privileged service.
+func GoalPortBoundBelow(limit int) rewrite.Goal {
+	pat := rewrite.NewConfig(
+		rewrite.NewOp(symSocket, iv("Sid"), iv("Sport")),
+		zvar(),
+	)
+	return rewrite.Goal{
+		Pattern: pat,
+		Cond: func(b rewrite.Binding) bool {
+			port, ok := b.Int("Sport")
+			return ok && port > 0 && port < int64(limit)
+		},
+	}
+}
+
+// GoalProcessTerminated: the process with the given ID has been terminated —
+// the attacker disrupted a critical service.
+func GoalProcessTerminated(pid int) rewrite.Goal {
+	pat := rewrite.NewConfig(
+		rewrite.NewOp(symProcess,
+			rewrite.NewInt(int64(pid)),
+			iv("Peuid"), iv("Pruid"), iv("Psuid"),
+			iv("Pegid"), iv("Prgid"), iv("Psgid"),
+			rewrite.NewOp(symTerm), iv("Prdf"), iv("Pwrf")),
+		zvar(),
+	)
+	return rewrite.Goal{Pattern: pat}
+}
+
+// Simulate follows one deterministic execution from the initial state
+// (Maude's `rewrite` command, in contrast to Run's exhaustive `search`):
+// at each step the first applicable syscall fires. Useful for watching what
+// a configuration does, not for verdicts — use Run for those.
+func (q *Query) Simulate(maxSteps int) (*rewrite.Term, []rewrite.Step, error) {
+	sys := NewSystem()
+	if q.Extended {
+		sys = NewExtendedSystem()
+	}
+	final, trace, _, err := sys.Rewrite(q.InitialState(), maxSteps)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rosa: %w", err)
+	}
+	return final, trace, nil
+}

@@ -1,0 +1,330 @@
+// Package rosa reimplements ROSA (Rewrite of Objects for Syscall Analysis),
+// the paper's bounded model checker (§V-B, §VI). ROSA models a Linux system
+// as an Object Maude configuration: processes, users, groups, files,
+// directory entries, and TCP sockets are objects; the system calls an
+// attacker may execute are messages carrying the privileges each call may
+// use; and rewrite rules give each syscall its Linux access-control
+// semantics. A bounded breadth-first search then decides whether a
+// configuration matching a compromised-state pattern is reachable — if it is
+// not, the program cannot put the system into that state even if exploited
+// while holding those privileges and credentials.
+//
+// The original is 1,151 lines of Maude on Maude 2.7 with Full Maude; this
+// reimplementation expresses the same object model and the same 17 system
+// calls over the term rewriting engine in internal/rewrite.
+package rosa
+
+import (
+	"sort"
+
+	"privanalyzer/internal/caps"
+	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/vkernel"
+)
+
+// Wild is the wildcard syscall argument: ROSA tries every candidate value
+// from the configuration's objects (file IDs range over File objects, user
+// IDs over User objects, group IDs over Group objects), modelling an
+// attacker who controls syscall arguments (§V-B).
+const Wild = -1
+
+// Open modes for the open message, matching the paper's "r - -" rendering.
+const (
+	OpenRead  = 0
+	OpenWrite = 1
+	OpenRDWR  = 2
+)
+
+// Object and message symbols.
+const (
+	symProcess = "Process"
+	symFile    = "File"
+	symDir     = "Dir"
+	symSocket  = "Socket"
+	symUser    = "User"
+	symGroup   = "Group"
+	symSet     = "set"
+	symRun     = "run"
+	symTerm    = "term"
+)
+
+// Signature declares the sorts ROSA's goal patterns rely on.
+func Signature() rewrite.Signature {
+	return rewrite.Signature{
+		symProcess: "Object",
+		symFile:    "Object",
+		symDir:     "Object",
+		symSocket:  "Object",
+		symUser:    "Object",
+		symGroup:   "Object",
+		symSet:     "Set",
+		symRun:     "procState",
+		symTerm:    "procState",
+	}
+}
+
+// Creds is the credential block of a process object: the six IDs the Linux
+// access controls consult. (Privileges live on messages, not processes,
+// matching the paper's design.)
+type Creds struct {
+	RUID, EUID, SUID int
+	RGID, EGID, SGID int
+}
+
+// UniformCreds returns credentials with all three user IDs set to uid and
+// all three group IDs to gid.
+func UniformCreds(uid, gid int) Creds {
+	return Creds{RUID: uid, EUID: uid, SUID: uid, RGID: gid, EGID: gid, SGID: gid}
+}
+
+// EmptySet returns the empty object-ID set term.
+func EmptySet() *rewrite.Term { return rewrite.NewOp(symSet) }
+
+// SetOf returns a sorted object-ID set term.
+func SetOf(ids ...int) *rewrite.Term {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	elems := make([]*rewrite.Term, len(sorted))
+	for i, id := range sorted {
+		elems[i] = rewrite.NewInt(int64(id))
+	}
+	return rewrite.NewOp(symSet, elems...)
+}
+
+// SetHas reports whether the set term contains id.
+func SetHas(set *rewrite.Term, id int) bool {
+	if set == nil || set.Kind != rewrite.Op || set.Sym != symSet {
+		return false
+	}
+	for _, e := range set.Args {
+		if e.IsInt() && e.IntVal == int64(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetAdd returns the set term with id added (sets are kept sorted and
+// deduplicated).
+func SetAdd(set *rewrite.Term, id int) *rewrite.Term {
+	if SetHas(set, id) {
+		return set
+	}
+	ids := make([]int, 0, len(set.Args)+1)
+	for _, e := range set.Args {
+		ids = append(ids, int(e.IntVal))
+	}
+	ids = append(ids, id)
+	return SetOf(ids...)
+}
+
+// Process builds a process object term:
+//
+//	Process(id, euid, ruid, suid, egid, rgid, sgid, state, rdfset, wrfset)
+//
+// following the attribute order of the paper's Figure 2. state is "run";
+// rdfset and wrfset start as given (usually empty).
+func Process(id int, c Creds, rdf, wrf *rewrite.Term) *rewrite.Term {
+	if rdf == nil {
+		rdf = EmptySet()
+	}
+	if wrf == nil {
+		wrf = EmptySet()
+	}
+	return rewrite.NewOp(symProcess,
+		rewrite.NewInt(int64(id)),
+		rewrite.NewInt(int64(c.EUID)), rewrite.NewInt(int64(c.RUID)), rewrite.NewInt(int64(c.SUID)),
+		rewrite.NewInt(int64(c.EGID)), rewrite.NewInt(int64(c.RGID)), rewrite.NewInt(int64(c.SGID)),
+		rewrite.NewOp(symRun), rdf, wrf)
+}
+
+// Positions of process-object arguments.
+const (
+	pID = iota
+	pEUID
+	pRUID
+	pSUID
+	pEGID
+	pRGID
+	pSGID
+	pState
+	pRdf
+	pWrf
+	processArity
+)
+
+// File builds a file object term: File(id, name, perms, owner, group). Names
+// are for human readability; rules never consult them (§V-B).
+func File(id int, name string, perms vkernel.Mode, owner, group int) *rewrite.Term {
+	return rewrite.NewOp(symFile,
+		rewrite.NewInt(int64(id)), rewrite.NewStr(name),
+		rewrite.NewInt(int64(perms)),
+		rewrite.NewInt(int64(owner)), rewrite.NewInt(int64(group)))
+}
+
+// Positions of file-object arguments (shared by Dir up to fGroup).
+const (
+	fID = iota
+	fName
+	fPerms
+	fOwner
+	fGroup
+	fileArity
+	dInode   = fileArity // Dir only
+	dirArity = fileArity + 1
+)
+
+// DirEntry builds a directory-entry object: Dir(id, name, perms, owner,
+// group, inode). The inode is the object ID of the file the entry refers to;
+// unlink and rename rewrite it. ROSA models pathname lookup on a single
+// parent level: opening file F checks search permission on any Dir whose
+// inode is F.
+func DirEntry(id int, name string, perms vkernel.Mode, owner, group, inode int) *rewrite.Term {
+	return rewrite.NewOp(symDir,
+		rewrite.NewInt(int64(id)), rewrite.NewStr(name),
+		rewrite.NewInt(int64(perms)),
+		rewrite.NewInt(int64(owner)), rewrite.NewInt(int64(group)),
+		rewrite.NewInt(int64(inode)))
+}
+
+// SocketObj builds a TCP socket object: Socket(id, port). Port 0 means
+// unbound.
+func SocketObj(id, port int) *rewrite.Term {
+	return rewrite.NewOp(symSocket, rewrite.NewInt(int64(id)), rewrite.NewInt(int64(port)))
+}
+
+// User builds a user object; wildcards in uid-valued syscall arguments range
+// over the User objects present in the configuration.
+func User(uid int) *rewrite.Term {
+	return rewrite.NewOp(symUser, rewrite.NewInt(int64(uid)))
+}
+
+// GroupObj builds a group object, the gid analogue of User.
+func GroupObj(gid int) *rewrite.Term {
+	return rewrite.NewOp(symGroup, rewrite.NewInt(int64(gid)))
+}
+
+// privArg renders a capability set as a message argument.
+func privArg(s caps.Set) *rewrite.Term { return rewrite.NewInt(int64(s)) }
+
+// Message builders. Every message names the process allowed to execute the
+// call, the call's arguments (Wild where the attacker may choose), and the
+// privileges the call may use.
+
+// OpenMsg builds open(pid, fid, mode, privs).
+func OpenMsg(pid, fid, mode int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("open",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(fid)),
+		rewrite.NewInt(int64(mode)), privArg(privs))
+}
+
+// ChmodMsg builds chmod(pid, fid, perms, privs).
+func ChmodMsg(pid, fid int, perms vkernel.Mode, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("chmod",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(fid)),
+		rewrite.NewInt(int64(perms)), privArg(privs))
+}
+
+// FchmodMsg builds fchmod(pid, fid, perms, privs); the file must already be
+// open (in the process's rdfset or wrfset).
+func FchmodMsg(pid, fid int, perms vkernel.Mode, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("fchmod",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(fid)),
+		rewrite.NewInt(int64(perms)), privArg(privs))
+}
+
+// ChownMsg builds chown(pid, fid, owner, group, privs). owner and group may
+// be Wild (range over User/Group objects) or Wild-1 semantics... owner may
+// also be left unchanged by passing the file's current value.
+func ChownMsg(pid, fid, owner, group int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("chown",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(fid)),
+		rewrite.NewInt(int64(owner)), rewrite.NewInt(int64(group)), privArg(privs))
+}
+
+// FchownMsg builds fchown(pid, fid, owner, group, privs); the file must be
+// open.
+func FchownMsg(pid, fid, owner, group int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("fchown",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(fid)),
+		rewrite.NewInt(int64(owner)), rewrite.NewInt(int64(group)), privArg(privs))
+}
+
+// UnlinkMsg builds unlink(pid, dirid, privs): remove the directory entry.
+func UnlinkMsg(pid, dirID int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("unlink",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(dirID)), privArg(privs))
+}
+
+// RenameMsg builds rename(pid, dirid, inode, privs): re-point the directory
+// entry at the file object inode.
+func RenameMsg(pid, dirID, inode int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("rename",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(dirID)),
+		rewrite.NewInt(int64(inode)), privArg(privs))
+}
+
+// SetuidMsg builds setuid(pid, uid, privs).
+func SetuidMsg(pid, uid int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("setuid",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(uid)), privArg(privs))
+}
+
+// SeteuidMsg builds seteuid(pid, uid, privs).
+func SeteuidMsg(pid, uid int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("seteuid",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(uid)), privArg(privs))
+}
+
+// SetresuidMsg builds setresuid(pid, ruid, euid, suid, privs).
+func SetresuidMsg(pid, r, e, s int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("setresuid",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(r)),
+		rewrite.NewInt(int64(e)), rewrite.NewInt(int64(s)), privArg(privs))
+}
+
+// SetgidMsg builds setgid(pid, gid, privs).
+func SetgidMsg(pid, gid int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("setgid",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(gid)), privArg(privs))
+}
+
+// SetegidMsg builds setegid(pid, gid, privs).
+func SetegidMsg(pid, gid int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("setegid",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(gid)), privArg(privs))
+}
+
+// SetresgidMsg builds setresgid(pid, rgid, egid, sgid, privs).
+func SetresgidMsg(pid, r, e, s int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("setresgid",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(r)),
+		rewrite.NewInt(int64(e)), rewrite.NewInt(int64(s)), privArg(privs))
+}
+
+// KillMsg builds kill(pid, targetPid, sig, privs). targetPid may be Wild.
+func KillMsg(pid, target, sig int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("kill",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(target)),
+		rewrite.NewInt(int64(sig)), privArg(privs))
+}
+
+// SocketMsg builds socket(pid, sid, privs): create socket object sid.
+func SocketMsg(pid, sid int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("socket",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(sid)), privArg(privs))
+}
+
+// BindMsg builds bind(pid, sid, port, privs).
+func BindMsg(pid, sid, port int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("bind",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(sid)),
+		rewrite.NewInt(int64(port)), privArg(privs))
+}
+
+// ConnectMsg builds connect(pid, sid, port, privs).
+func ConnectMsg(pid, sid, port int, privs caps.Set) *rewrite.Term {
+	return rewrite.NewOp("connect",
+		rewrite.NewInt(int64(pid)), rewrite.NewInt(int64(sid)),
+		rewrite.NewInt(int64(port)), privArg(privs))
+}

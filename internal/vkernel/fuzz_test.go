@@ -1,0 +1,21 @@
+package vkernel
+
+import "testing"
+
+// FuzzParseMode checks the permission parser never panics and accepted
+// modes round-trip through String.
+func FuzzParseMode(f *testing.F) {
+	f.Add("rwxr-xr-x")
+	f.Add("r w x r w x r w x")
+	f.Add("---------")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseMode(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseMode(m.String())
+		if err != nil || again != m {
+			t.Fatalf("round trip: %v / %s vs %s", err, again, m)
+		}
+	})
+}

@@ -1,0 +1,269 @@
+// Package vkernel simulates the slice of a Linux kernel that PrivAnalyzer's
+// instrumented programs interact with: per-process credentials with
+// capability semantics, a small single-level file system with discretionary
+// access control, TCP sockets with privileged ports, and signals. The IR
+// interpreter in internal/interp dispatches syscall instructions here, so the
+// same capability and DAC rules that the ROSA model checker reasons about are
+// enforced while ChronoPriv measures a program's execution.
+package vkernel
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+
+	"privanalyzer/internal/caps"
+)
+
+// Mode is a 9-bit rwxrwxrwx permission word (owner, group, other), matching
+// the file permission attribute ROSA models.
+type Mode uint16
+
+// Permission bits.
+const (
+	OwnerR Mode = 1 << 8
+	OwnerW Mode = 1 << 7
+	OwnerX Mode = 1 << 6
+	GroupR Mode = 1 << 5
+	GroupW Mode = 1 << 4
+	GroupX Mode = 1 << 3
+	OtherR Mode = 1 << 2
+	OtherW Mode = 1 << 1
+	OtherX Mode = 1 << 0
+)
+
+// ParseMode parses "rwxr-x---" style permission strings.
+func ParseMode(s string) (Mode, error) {
+	clean := strings.ReplaceAll(s, " ", "")
+	if len(clean) != 9 {
+		return 0, fmt.Errorf("vkernel: mode %q must have 9 permission characters", s)
+	}
+	var m Mode
+	for i, c := range clean {
+		bit := Mode(1) << (8 - i)
+		switch c {
+		case '-':
+			continue
+		case 'r':
+			if i%3 != 0 {
+				return 0, fmt.Errorf("vkernel: 'r' misplaced in %q", s)
+			}
+		case 'w':
+			if i%3 != 1 {
+				return 0, fmt.Errorf("vkernel: 'w' misplaced in %q", s)
+			}
+		case 'x':
+			if i%3 != 2 {
+				return 0, fmt.Errorf("vkernel: 'x' misplaced in %q", s)
+			}
+		default:
+			return 0, fmt.Errorf("vkernel: bad permission character %q in %q", c, s)
+		}
+		m |= bit
+	}
+	return m, nil
+}
+
+// MustMode is ParseMode for literals; it panics on malformed input.
+func MustMode(s string) Mode {
+	m, err := ParseMode(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String renders the mode as "rwxr-x---".
+func (m Mode) String() string {
+	var b strings.Builder
+	chars := "rwxrwxrwx"
+	for i := 0; i < 9; i++ {
+		if m&(1<<(8-i)) != 0 {
+			b.WriteByte(chars[i])
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// ProcState is the lifecycle state of a simulated process.
+type ProcState uint8
+
+// Process states.
+const (
+	// Running means the process is alive.
+	Running ProcState = iota + 1
+	// Terminated means the process has exited or been killed.
+	Terminated
+)
+
+// File is the metadata of one file-system object.
+type File struct {
+	// Path is the absolute path, e.g. "/etc/shadow".
+	Path string
+	// Owner and Group are the owning uid and gid.
+	Owner, Group int
+	// Perms is the rwxrwxrwx permission word.
+	Perms Mode
+	// IsDir marks directories.
+	IsDir bool
+	// Size is a nominal byte size used by read/write simulation.
+	Size int64
+}
+
+// openFile is one open file-description entry.
+type openFile struct {
+	file  *File
+	read  bool
+	write bool
+	sock  *socket
+}
+
+// socket is the state of one TCP socket.
+type socket struct {
+	raw       bool
+	boundPort int
+	connected bool
+}
+
+// Proc is one simulated process.
+type Proc struct {
+	// PID is the process id.
+	PID int
+	// Name labels the process for diagnostics ("sshd").
+	Name string
+	// Creds is the credential state.
+	Creds caps.Creds
+	// Supp is the supplementary group list.
+	Supp map[int]bool
+	// State is Running or Terminated.
+	State ProcState
+
+	fds    map[int]*openFile
+	nextFD int
+}
+
+// Event records one syscall for tracing and tests.
+type Event struct {
+	// Name is the syscall name.
+	Name string
+	// Args renders the arguments.
+	Args string
+	// Ret is the return value (-1 on permission failure).
+	Ret int64
+	// Err describes the failure, empty on success.
+	Err string
+}
+
+// Kernel is the simulated operating system. The zero value is not usable;
+// call New.
+type Kernel struct {
+	procs   map[int]*Proc
+	cur     int
+	fs      map[string]*File
+	ports   map[int]int // bound port -> pid
+	nextPID int
+
+	// Trace records every syscall when TraceEnabled is set.
+	Trace        []Event
+	TraceEnabled bool
+}
+
+// New returns a kernel with an empty file system and no processes.
+func New() *Kernel {
+	return &Kernel{
+		procs:   make(map[int]*Proc),
+		fs:      make(map[string]*File),
+		ports:   make(map[int]int),
+		nextPID: 1,
+	}
+}
+
+// AddFile installs a file or directory into the file system.
+func (k *Kernel) AddFile(f File) {
+	cp := f
+	k.fs[f.Path] = &cp
+}
+
+// LookupFile returns the file at path, or nil.
+func (k *Kernel) LookupFile(p string) *File { return k.fs[p] }
+
+// Spawn creates a new process with the given name and credentials and
+// returns it. The first spawned process becomes the current process.
+func (k *Kernel) Spawn(name string, c caps.Creds) *Proc {
+	p := &Proc{
+		PID:    k.nextPID,
+		Name:   name,
+		Creds:  c,
+		Supp:   make(map[int]bool),
+		State:  Running,
+		fds:    make(map[int]*openFile),
+		nextFD: 3,
+	}
+	k.nextPID++
+	k.procs[p.PID] = p
+	if k.cur == 0 {
+		k.cur = p.PID
+	}
+	return p
+}
+
+// Current returns the currently running process.
+func (k *Kernel) Current() *Proc { return k.procs[k.cur] }
+
+// SetCurrent switches the running process (used by tests).
+func (k *Kernel) SetCurrent(pid int) error {
+	if _, ok := k.procs[pid]; !ok {
+		return fmt.Errorf("vkernel: no process %d", pid)
+	}
+	k.cur = pid
+	return nil
+}
+
+// Proc returns the process with the given pid, or nil.
+func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
+
+// ErrBadSyscall reports a malformed or unknown syscall; it aborts an
+// interpreter run, unlike permission failures which return -1 to the
+// program.
+var ErrBadSyscall = errors.New("vkernel: bad syscall")
+
+// Arg is one syscall argument: an integer or a string.
+type Arg struct {
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// IntArg returns an integer argument.
+func IntArg(v int64) Arg { return Arg{Int: v} }
+
+// StrArg returns a string argument.
+func StrArg(s string) Arg { return Arg{Str: s, IsStr: true} }
+
+// String renders the argument for traces and diagnostics.
+func (a Arg) String() string {
+	if a.IsStr {
+		return fmt.Sprintf("%q", a.Str)
+	}
+	return fmt.Sprintf("%d", a.Int)
+}
+
+func formatArgs(args []Arg) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// parentDir returns the parent directory path of p ("" for "/").
+func parentDir(p string) string {
+	d := path.Dir(p)
+	if d == p {
+		return ""
+	}
+	return d
+}
