@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments tables fuzz clean
+.PHONY: all build test test-short test-race bench bench-json experiments tables fuzz clean
 
 all: build test
 
@@ -11,15 +11,26 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the packages with concurrent code paths (the
+# level-parallel search engine and its callers).
+test-race:
+	$(GO) test -race ./internal/rewrite/ ./internal/rosa/ ./internal/core/
+
 # Quick full benchmark sweep (one iteration per cell); the default
 # benchtime takes far longer across BenchmarkROSA's ~140 cells.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./... 2>&1 | tee bench_output.txt
+
+# Machine-readable Figure 5-11 grid: states/sec and wall-clock per
+# (program, phase, attack) query, for performance tracking across commits.
+bench-json:
+	$(GO) run ./cmd/privanalyzer -bench-json BENCH_search.json
 
 # Run the whole evaluation and compare every cell against the paper.
 experiments:

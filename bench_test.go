@@ -148,12 +148,11 @@ func BenchmarkAblation(b *testing.B) {
 		// Without visited-state dedup the commuting syscall interleavings
 		// are re-explored; bound the damage with a state cap and report how
 		// far the budget got.
-		off := false
 		var states int
 		for i := 0; i < b.N; i++ {
 			q := build()
 			q.MaxStates = 50_000
-			q.Dedup = &off
+			q.NoDedup = true
 			res, err := q.Run()
 			if err != nil {
 				b.Fatal(err)
@@ -196,6 +195,26 @@ func BenchmarkAblation(b *testing.B) {
 		}
 		b.ReportMetric(float64(states), "states")
 	})
+
+	// Level-parallel search: the same exhaustive query at increasing worker
+	// counts. Verdict and states explored are identical at every setting
+	// (the merge replays the sequential algorithm); only wall-clock changes,
+	// and only when GOMAXPROCS grants real CPUs.
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers/%d", workers), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				q := build()
+				q.Workers = workers
+				res, err := q.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.StatesExplored
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
 
 	// Lazy wildcard expansion vs pre-grounded message soup.
 	b.Run("wildcards/lazy", func(b *testing.B) {

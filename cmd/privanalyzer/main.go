@@ -10,17 +10,24 @@
 //	privanalyzer -program all             # Tables III and V in full
 //	privanalyzer -program su -times       # the Figure 5-11 search costs
 //	privanalyzer -program su -budget 10000
+//	privanalyzer -program su -stats       # per-query engine statistics
+//	privanalyzer -program all -timeout 1m # wall-clock limit; late queries get ⏱
+//	privanalyzer -bench-json BENCH_search.json  # Figure 5-11 grid as JSON
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"privanalyzer/internal/core"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/report"
+	"privanalyzer/internal/rewrite"
 )
 
 func main() {
@@ -35,13 +42,32 @@ func run(args []string) int {
 		times       = fs.Bool("times", false, "also print per-query ROSA search costs (Figures 5-11)")
 		chart       = fs.Bool("chart", false, "also print ASCII search-cost charts (Figures 5-11)")
 		budget      = fs.Int("budget", 0, "ROSA per-query state budget (0 = default)")
+		timeout     = fs.Duration("timeout", 0, "wall-clock limit for the whole analysis; queries past the deadline get the ⏱ verdict (0 = none)")
+		workers     = fs.Int("workers", 0, "search workers per depth level inside each query (0 = one per CPU, 1 = sequential)")
+		stats       = fs.Bool("stats", false, "also print per-query engine statistics (states/sec, dedup rate, frontier shape)")
 		check       = fs.Bool("check", false, "compare results against the paper's table cells")
 		diff        = fs.String("diff", "", `compare two programs' postures, e.g. "su,suRef"`)
-		parallel    = fs.Bool("parallel", false, "run ROSA queries on all CPUs")
+		parallel    = fs.Bool("parallel", false, "additionally fan the independent queries out over the CPUs")
 		experiments = fs.Bool("experiments", false, "run the full evaluation and print the paper-vs-measured summary")
+		benchJSON   = fs.String("bench-json", "", "run the Figure 5-11 query grid and write per-query benchmark records to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	opts := core.Options{
+		Search:   rewrite.Options{MaxStates: *budget, Workers: *workers},
+		Parallel: *parallel,
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *benchJSON != "" {
+		return runBenchJSON(ctx, *benchJSON, opts)
 	}
 
 	if *tables {
@@ -75,7 +101,7 @@ func run(args []string) int {
 				fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 				return 1
 			}
-			a, err := core.Analyze(p, core.Options{MaxStates: *budget, Parallel: *parallel})
+			a, err := core.AnalyzeContext(ctx, p, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 				return 1
@@ -108,7 +134,7 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 			return 1
 		}
-		a, err := core.Analyze(p, core.Options{MaxStates: *budget, Parallel: *parallel})
+		a, err := core.AnalyzeContext(ctx, p, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 			return 1
@@ -141,6 +167,11 @@ func run(args []string) int {
 			fmt.Println(report.FigureChart(a))
 		}
 	}
+	if *stats {
+		for _, a := range append(original, refactored...) {
+			fmt.Println(report.SearchStatsTable(a))
+		}
+	}
 	if *experiments {
 		cmp := report.Compare(append(original, refactored...))
 		fmt.Println(cmp)
@@ -149,4 +180,71 @@ func run(args []string) int {
 		}
 	}
 	return exitCode
+}
+
+// benchRecord is one (program, phase, attack) cell of the Figure 5-11 query
+// grid, in the machine-readable form `-bench-json` emits for performance
+// tracking across commits.
+type benchRecord struct {
+	Figure       int     `json:"figure"`
+	Program      string  `json:"program"`
+	Phase        string  `json:"phase"`
+	Attack       int     `json:"attack"`
+	Verdict      string  `json:"verdict"`
+	States       int     `json:"states"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	Workers      int     `json:"workers"`
+}
+
+// runBenchJSON runs every ROSA query of the Figure 5-11 grid (each program's
+// phases × attacks) and writes one JSON record per query to path.
+func runBenchJSON(ctx context.Context, path string, opts core.Options) int {
+	start := time.Now()
+	var records []benchRecord
+	for fi, name := range programs.Names() {
+		p, err := programs.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			return 1
+		}
+		a, err := core.AnalyzeContext(ctx, p, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			return 1
+		}
+		for _, pr := range a.Phases {
+			for i, v := range pr.Verdicts {
+				if v == 0 {
+					continue // attack not run
+				}
+				rec := benchRecord{
+					Figure:    5 + fi, // paper order: Figures 5-11, one per program
+					Program:   name,
+					Phase:     pr.Spec.Name,
+					Attack:    i + 1,
+					Verdict:   v.String(),
+					States:    pr.States[i],
+					ElapsedNS: pr.Elapsed[i].Nanoseconds(),
+				}
+				if st := pr.Stats[i]; st != nil {
+					rec.StatesPerSec = st.StatesPerSec()
+					rec.Workers = st.Workers
+				}
+				records = append(records, rec)
+			}
+		}
+		fmt.Printf("%-12s %3d queries  %s\n", name, 4*len(a.Phases), time.Since(start).Round(time.Millisecond))
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+		return 1
+	}
+	fmt.Printf("wrote %d records to %s in %s\n", len(records), path, time.Since(start).Round(time.Millisecond))
+	return 0
 }

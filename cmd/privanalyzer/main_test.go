@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -86,5 +88,44 @@ func TestRunDiff(t *testing.T) {
 	}
 	if _, code := capture(t, func() int { return run([]string{"-diff", "su"}) }); code != 2 {
 		t.Errorf("malformed -diff exit = %d, want 2", code)
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "ping", "-stats"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	for _, want := range []string{"ROSA search statistics for ping", "States/sec", "Dedup%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole query grid")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out, code := capture(t, func() int { return run([]string{"-bench-json", path, "-budget", "500"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(records) != 140 { // 7 programs × their phases × 4 attacks
+		t.Errorf("got %d records, want 140", len(records))
+	}
+	for _, key := range []string{"figure", "program", "phase", "attack", "verdict", "states", "elapsed_ns", "states_per_sec"} {
+		if _, ok := records[0][key]; !ok {
+			t.Errorf("record missing %q: %v", key, records[0])
+		}
 	}
 }

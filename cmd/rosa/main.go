@@ -10,14 +10,18 @@
 //	rosa -example          # the paper's Figures 2-4 worked example
 //	rosa -query file.rosa  # a hand-written query file (see rosa.ParseQuery)
 //	rosa -example -maude   # print the query in Maude syntax too
+//	rosa -example -stats   # print search statistics (states/sec, frontier, …)
+//	rosa -query f.rosa -timeout 5s -workers 4  # bounded wall clock, 4 workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"privanalyzer/internal/attacks"
 	"privanalyzer/internal/caps"
@@ -39,6 +43,9 @@ func run(args []string) int {
 		gidArg   = fs.String("gid", "1000,1000,1000", "real,effective,saved gid")
 		syscalls = fs.String("syscalls", "open,chown,setuid,setresuid,setgid,setresgid,kill,socket,bind,connect", "comma-separated syscall inventory")
 		budget   = fs.Int("budget", 0, "state budget (0 = default)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock search limit; an expired deadline yields the ⏱ verdict (0 = none)")
+		workers  = fs.Int("workers", 0, "search workers per depth level (0 = one per CPU, 1 = sequential)")
+		stats    = fs.Bool("stats", false, "print the search statistics (states/sec, frontier shape, rule firings, dedup rate)")
 		example  = fs.Bool("example", false, "run the paper's worked example (Figures 2-4) instead")
 		query    = fs.String("query", "", "run a query file (rosa.ParseQuery format) instead")
 		maude    = fs.Bool("maude", false, "also print the query in the paper's Maude syntax")
@@ -48,6 +55,8 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	rep := reporter{timeout: *timeout, workers: *workers, stats: *stats}
 
 	if *module {
 		fmt.Print(rosa.MaudeModule())
@@ -74,11 +83,11 @@ func run(args []string) int {
 		if *simulate {
 			return simulateQuery(q)
 		}
-		return report("query file "+*query, q)
+		return rep.report("query file "+*query, q)
 	}
 
 	if *example {
-		return runExample(*maude)
+		return runExample(*maude, rep)
 	}
 
 	privs, err := caps.ParseSet(*privsArg)
@@ -103,7 +112,7 @@ func run(args []string) int {
 	}
 	q := attacks.Build(id, strings.Split(*syscalls, ","), creds, privs)
 	q.MaxStates = *budget
-	return report(id.Description(), q)
+	return rep.report(id.Description(), q)
 }
 
 func parseTriple(s string) ([3]int, error) {
@@ -125,7 +134,7 @@ func parseTriple(s string) ([3]int, error) {
 // runExample executes the paper's Figures 2-4 query: can a process with
 // mismatched credentials open /etc/passwd for reading given one use each of
 // open, setuid(CapSetuid), chown(CapChown, group fixed 41), and chmod?
-func runExample(maude bool) int {
+func runExample(maude bool, rep reporter) int {
 	q := &rosa.Query{
 		Objects: []*rewrite.Term{
 			rosa.Process(1, rosa.Creds{EUID: 10, RUID: 11, SUID: 12, EGID: 10, RGID: 11, SGID: 12}, nil, nil),
@@ -144,7 +153,7 @@ func runExample(maude bool) int {
 	if maude {
 		fmt.Println(q.MaudeSearch("3 in H:Set{Int}"))
 	}
-	return report("worked example: open /etc/passwd for reading", q)
+	return rep.report("worked example: open /etc/passwd for reading", q)
 }
 
 // simulateQuery follows one deterministic execution and prints the trace.
@@ -159,10 +168,26 @@ func simulateQuery(q *rosa.Query) int {
 	return 0
 }
 
-func report(what string, q *rosa.Query) int {
+// reporter carries the search-tuning flags shared by every query mode.
+type reporter struct {
+	timeout time.Duration
+	workers int
+	stats   bool
+}
+
+func (r reporter) report(what string, q *rosa.Query) int {
 	fmt.Printf("query: %s\n", what)
 	fmt.Printf("initial state: %s\n\n", q.InitialState())
-	res, err := q.Run()
+	if r.workers != 0 {
+		q.Workers = r.workers
+	}
+	ctx := context.Background()
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+	res, err := q.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rosa:", err)
 		return 1
@@ -170,7 +195,9 @@ func report(what string, q *rosa.Query) int {
 	fmt.Printf("verdict: %s  (%d states explored in %s)\n", res.Verdict, res.StatesExplored, res.Elapsed)
 	if res.Verdict == rosa.Vulnerable {
 		fmt.Printf("\nwitness (attack syscall sequence):\n%s", rewrite.FormatWitness(res.Witness))
-		return 0
+	}
+	if r.stats && res.Stats != nil {
+		fmt.Printf("\n%s", res.Stats)
 	}
 	return 0
 }

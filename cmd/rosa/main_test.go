@@ -135,3 +135,27 @@ func TestRunSimulate(t *testing.T) {
 		}
 	}
 }
+
+func TestRunStatsFlag(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-example", "-stats", "-workers", "2"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	for _, want := range []string{"states explored:", "dedup hits:", "frontier by depth:", "rule firings:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	// A generous deadline the tiny example cannot hit: the flag must parse
+	// and the verdict must be unaffected.
+	out, code := capture(t, func() int { return run([]string{"-example", "-timeout", "1m"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: ✓") {
+		t.Errorf("expected the worked example's ✓ verdict:\n%s", out)
+	}
+}

@@ -79,10 +79,10 @@ func Ground(q *rosa.Query) *rosa.Query {
 	}
 
 	out := &rosa.Query{
-		Objects:   q.Objects,
-		Goal:      q.Goal,
-		MaxStates: q.MaxStates,
-		MaxDepth:  q.MaxDepth,
+		Objects:  q.Objects,
+		Goal:     q.Goal,
+		Options:  q.Options,
+		Extended: q.Extended,
 	}
 	for _, msg := range q.Messages {
 		grounded := []*rewrite.Term{msg}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -21,19 +22,31 @@ import (
 	"privanalyzer/internal/autopriv"
 	"privanalyzer/internal/chronopriv"
 	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
 )
 
-// Options configures an analysis.
+// Options configures an analysis. Per-query search tuning lives in Search —
+// the same rewrite.Options every layer shares — so there is one option
+// surface from the CLI down to the engine.
 type Options struct {
-	// MaxStates is the per-query ROSA search budget; exceeding it yields
-	// the Unknown (⏱) verdict. 0 means DefaultMaxStates.
+	// Search bounds and tunes each ROSA query's search (budget, depth,
+	// workers, stats callback). Search.MaxStates 0 means DefaultMaxStates;
+	// exceeding the budget (or the AnalyzeContext deadline) yields the
+	// Unknown (⏱) verdict for that query.
+	Search rewrite.Options
+	// MaxStates is the per-query ROSA search budget.
+	//
+	// Deprecated: legacy alias for Search.MaxStates, honored when
+	// Search.MaxStates is 0.
 	MaxStates int
 	// Attacks selects which attacks to model; nil means all four.
 	Attacks []attacks.ID
-	// Parallel runs the ROSA queries on all CPUs. Results are identical to
-	// the sequential run (each query's search is deterministic and
-	// independent); only wall-clock time changes.
+	// Parallel additionally fans the independent (phase, attack) queries
+	// out over the CPUs, on top of each query's own frontier-level
+	// parallelism. Results are identical to the sequential run (each
+	// query's search is deterministic and independent); only wall-clock
+	// time changes.
 	Parallel bool
 }
 
@@ -56,6 +69,9 @@ type PhaseResult struct {
 	// States and Elapsed record each query's search cost (Figures 5–11).
 	States  [4]int
 	Elapsed [4]time.Duration
+	// Stats holds each query's full search statistics (states/sec,
+	// frontier shape, rule firings, dedup rate); nil for attacks not run.
+	Stats [4]*rewrite.SearchStats
 }
 
 // Analysis is the full PrivAnalyzer output for one program.
@@ -76,10 +92,23 @@ type Analysis struct {
 	VulnerableShare [4]float64
 }
 
-// Analyze runs the full PrivAnalyzer pipeline on a program.
+// Analyze runs the full PrivAnalyzer pipeline on a program. It is the
+// pre-context entry point, a thin wrapper over AnalyzeContext.
 func Analyze(p *programs.Program, opts Options) (*Analysis, error) {
-	if opts.MaxStates <= 0 {
-		opts.MaxStates = DefaultMaxStates
+	return AnalyzeContext(context.Background(), p, opts)
+}
+
+// AnalyzeContext runs the full PrivAnalyzer pipeline on a program under
+// ctx. A context deadline is the paper's wall-clock analysis limit: ROSA
+// queries still pending when it expires finish promptly with the Unknown
+// (⏱) verdict — the analysis itself still completes and reports them.
+func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*Analysis, error) {
+	search := opts.Search
+	if search.MaxStates <= 0 {
+		search.MaxStates = opts.MaxStates
+	}
+	if search.MaxStates <= 0 {
+		search.MaxStates = DefaultMaxStates
 	}
 	ids := opts.Attacks
 	if ids == nil {
@@ -113,7 +142,7 @@ func Analyze(p *programs.Program, opts Options) (*Analysis, error) {
 		}
 		for _, id := range ids {
 			q := attacks.Build(id, inventory, creds, ph.Privileges)
-			q.MaxStates = opts.MaxStates
+			q.Options = search
 			jobs = append(jobs, job{phase: len(a.Phases) - 1, attack: id, query: q})
 		}
 	}
@@ -124,7 +153,7 @@ func Analyze(p *programs.Program, opts Options) (*Analysis, error) {
 	results := make([]*rosa.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
-		results[i], errs[i] = jobs[i].query.Run()
+		results[i], errs[i] = jobs[i].query.RunContext(ctx)
 	}
 	if opts.Parallel && len(jobs) > 1 {
 		workers := runtime.NumCPU()
@@ -164,6 +193,7 @@ func Analyze(p *programs.Program, opts Options) (*Analysis, error) {
 		pr.Verdicts[j.attack-1] = res.Verdict
 		pr.States[j.attack-1] = res.StatesExplored
 		pr.Elapsed[j.attack-1] = res.Elapsed
+		pr.Stats[j.attack-1] = res.Stats
 		if res.Verdict == rosa.Vulnerable {
 			vulnerable[j.attack-1] += pr.Measured.Instructions
 		}

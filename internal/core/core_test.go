@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -252,5 +253,138 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	if seq.VulnerableShare != par.VulnerableShare {
 		t.Errorf("shares differ: %v vs %v", seq.VulnerableShare, par.VulnerableShare)
+	}
+}
+
+// TestWorkersEquivalenceGrid runs every ROSA query behind Tables III and V —
+// all programs, all phases, all four attacks — once sequentially and once
+// with 4 search workers, and requires byte-identical verdicts, witnesses,
+// and state counts. This is the engine's determinism guarantee checked on
+// the real query set rather than toy systems.
+func TestWorkersEquivalenceGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table III/V query grid twice")
+	}
+	for _, name := range programs.Names() {
+		p, err := programs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := p.Syscalls()
+		for _, ph := range p.Phases {
+			creds := rosa.Creds{
+				RUID: ph.UID[0], EUID: ph.UID[1], SUID: ph.UID[2],
+				RGID: ph.GID[0], EGID: ph.GID[1], SGID: ph.GID[2],
+			}
+			for _, id := range attacks.All {
+				runWith := func(workers int) *rosa.Result {
+					q := attacks.Build(id, inv, creds, ph.Privs)
+					q.MaxStates = DefaultMaxStates
+					q.Workers = workers
+					res, err := q.Run()
+					if err != nil {
+						t.Fatalf("%s %s attack%d: %v", name, ph.Name, id, err)
+					}
+					return res
+				}
+				seq := runWith(1)
+				par := runWith(4)
+				if seq.Verdict != par.Verdict || seq.StatesExplored != par.StatesExplored {
+					t.Errorf("%s %s attack%d: sequential (%s, %d states) vs parallel (%s, %d states)",
+						name, ph.Name, id, seq.Verdict, seq.StatesExplored,
+						par.Verdict, par.StatesExplored)
+				}
+				if len(seq.Witness) != len(par.Witness) {
+					t.Errorf("%s %s attack%d: witness lengths %d vs %d",
+						name, ph.Name, id, len(seq.Witness), len(par.Witness))
+					continue
+				}
+				for i := range seq.Witness {
+					if seq.Witness[i].Rule != par.Witness[i].Rule ||
+						!seq.Witness[i].Result.Equal(par.Witness[i].Result) {
+						t.Errorf("%s %s attack%d: witness step %d differs (%s vs %s)",
+							name, ph.Name, id, i, seq.Witness[i].Rule, par.Witness[i].Rule)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeContextDeadline: an already-expired deadline turns every query
+// Unknown but still yields a complete, well-formed analysis.
+func TestAnalyzeContextDeadline(t *testing.T) {
+	p, err := programs.Su()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := AnalyzeContext(ctx, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Phases) == 0 {
+		t.Fatal("no phases analysed")
+	}
+	for _, pr := range a.Phases {
+		for i, v := range pr.Verdicts {
+			if v != rosa.Unknown {
+				t.Errorf("%s attack%d: verdict %s, want ⏱ under a cancelled context",
+					pr.Spec.Name, i+1, v)
+			}
+		}
+	}
+	if a.VulnerableShare != [4]float64{} {
+		t.Errorf("vulnerable shares %v, want zeros (Unknown counts as not vulnerable)",
+			a.VulnerableShare)
+	}
+}
+
+// TestAnalyzeStatsAttached: the per-query statistics surface reaches the
+// analysis layer.
+func TestAnalyzeStatsAttached(t *testing.T) {
+	p, err := programs.Su()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range a.Phases {
+		for i, v := range pr.Verdicts {
+			if v == 0 {
+				continue
+			}
+			if pr.Stats[i] == nil {
+				t.Fatalf("%s attack%d: no stats", pr.Spec.Name, i+1)
+			}
+			if pr.Stats[i].StatesExplored != pr.States[i] {
+				t.Errorf("%s attack%d: stats states %d != recorded states %d",
+					pr.Spec.Name, i+1, pr.Stats[i].StatesExplored, pr.States[i])
+			}
+		}
+	}
+}
+
+// TestLegacyMaxStatesHonored: the deprecated Options.MaxStates alias still
+// bounds the search when the unified Search options leave it unset.
+func TestLegacyMaxStatesHonored(t *testing.T) {
+	p, err := programs.Su()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p, Options{MaxStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range a.Phases {
+		for i, s := range pr.States {
+			if s > 10 {
+				t.Errorf("%s attack%d explored %d states under a 10-state budget",
+					pr.Spec.Name, i+1, s)
+			}
+		}
 	}
 }

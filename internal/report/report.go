@@ -111,6 +111,35 @@ func SearchTimes(a *core.Analysis) string {
 	return b.String()
 }
 
+// SearchStatsTable renders the engine's per-query statistics for one
+// program (the privanalyzer -stats view): exploration rate, visited-set
+// effectiveness, and the breadth-first frontier's shape for every
+// (phase, attack) query.
+func SearchStatsTable(a *core.Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ROSA search statistics for %s\n", a.Program.Name)
+	fmt.Fprintf(&b, "%-20s %-8s %-8s %12s %12s %8s %7s %14s\n",
+		"Phase", "Attack", "Verdict", "States", "States/sec", "Dedup%", "Depth", "Peak frontier")
+	for _, pr := range a.Phases {
+		for i, v := range pr.Verdicts {
+			if v == 0 || pr.Stats[i] == nil {
+				continue // attack not run
+			}
+			st := pr.Stats[i]
+			peak := 0
+			for _, n := range st.Frontier {
+				if n > peak {
+					peak = n
+				}
+			}
+			fmt.Fprintf(&b, "%-20s %-8d %-8s %12d %12.0f %8.1f %7d %14d\n",
+				pr.Spec.Name, i+1, v, st.StatesExplored, st.StatesPerSec(),
+				100*st.DedupRate(), st.Depth, peak)
+		}
+	}
+	return b.String()
+}
+
 // FigureChart renders one program's Figure 5–11 panel as an ASCII bar chart
 // of ROSA search cost per (phase, attack), using states explored as the
 // machine-independent cost measure the wall-clock bars of the paper's

@@ -1,0 +1,98 @@
+package rewrite
+
+import (
+	"testing"
+)
+
+// hashTerms is a zoo of structurally distinct terms; several pairs differ
+// only subtly (argument order, kind, nesting) to exercise the hash's
+// discrimination and Equal's agreement with the canonical rendering.
+func hashTerms() []*Term {
+	return []*Term{
+		NewInt(0),
+		NewInt(1),
+		NewInt(-1),
+		NewStr(""),
+		NewStr("0"),
+		NewOp("a"),
+		NewOp("b"),
+		NewOp("a", NewInt(1)),
+		NewOp("a", NewInt(1), NewInt(2)),
+		NewOp("a", NewInt(2), NewInt(1)), // Op args are ordered
+		NewOp("a", NewOp("b")),
+		NewOp("b", NewOp("a")),
+		NewVar("X", ""),
+		NewVar("X", "Universal"), // same as above: "" renders as Universal
+		NewVar("X", SortInt),
+		NewVar("Y", ""),
+		NewConfig(),
+		NewConfig(NewOp("a"), NewOp("b")),
+		NewConfig(NewOp("b"), NewOp("a")), // same as above: configs are multisets
+		NewConfig(NewOp("a"), NewOp("a"), NewOp("b")),
+		NewConfig(NewOp("a", NewInt(1)), NewOp("a", NewInt(2))),
+		NewConfig(NewConfig(NewOp("a")), NewOp("b")),
+	}
+}
+
+// TestHashEqualStringAgree pins the three equality surfaces to each other:
+// structural Equal, the canonical String rendering, and (one direction) the
+// structural hash. The engine's visited set is only correct if Equal means
+// exactly what String-key deduplication used to mean.
+func TestHashEqualStringAgree(t *testing.T) {
+	terms := hashTerms()
+	for i, a := range terms {
+		for j, b := range terms {
+			strEq := a.String() == b.String()
+			if eq := a.Equal(b); eq != strEq {
+				t.Errorf("terms %d,%d: Equal=%v but String-equal=%v (%s vs %s)",
+					i, j, eq, strEq, a, b)
+			}
+			if strEq && a.Hash() != b.Hash() {
+				t.Errorf("terms %d,%d: equal terms hash differently (%s)", i, j, a)
+			}
+		}
+	}
+}
+
+// TestConfigHashOrderInvariant: a configuration's hash and equality ignore
+// element order, including for runs of duplicate elements.
+func TestConfigHashOrderInvariant(t *testing.T) {
+	a := NewConfig(NewOp("p", NewInt(1)), NewOp("p", NewInt(2)), NewOp("q"), NewOp("q"))
+	b := NewConfig(NewOp("q"), NewOp("p", NewInt(2)), NewOp("q"), NewOp("p", NewInt(1)))
+	if a.Hash() != b.Hash() {
+		t.Error("permuted configs hash differently")
+	}
+	if !a.Equal(b) {
+		t.Error("permuted configs not Equal")
+	}
+	c := NewConfig(NewOp("q"), NewOp("p", NewInt(2)), NewOp("p", NewInt(1)), NewOp("p", NewInt(1)))
+	if a.Equal(c) {
+		t.Error("different multisets reported Equal")
+	}
+}
+
+// TestStateSetDedup: the interning set admits each distinct state once,
+// across permuted renderings.
+func TestStateSetDedup(t *testing.T) {
+	s := newStateSet()
+	if !s.add(NewConfig(NewOp("a"), NewOp("b"))) {
+		t.Error("first add rejected")
+	}
+	if s.add(NewConfig(NewOp("b"), NewOp("a"))) {
+		t.Error("permutation admitted twice")
+	}
+	if !s.add(NewConfig(NewOp("a"), NewOp("b"), NewOp("b"))) {
+		t.Error("distinct multiset rejected")
+	}
+}
+
+// TestHashMemoStable: the memoized hash survives whatever String() does to
+// the term's internal memo fields.
+func TestHashMemoStable(t *testing.T) {
+	term := NewConfig(NewOp("a", NewInt(7)), NewOp("b"))
+	h1 := term.Hash()
+	_ = term.String()
+	if h2 := term.Hash(); h1 != h2 {
+		t.Errorf("hash changed after String(): %x -> %x", h1, h2)
+	}
+}

@@ -1,0 +1,398 @@
+package rewrite
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options bounds and tunes a search. It is the single option surface shared
+// by every layer of the checker: rosa.Query embeds it and core.Options
+// carries one per query. The zero value is the default configuration —
+// unbounded depth and states, visited-state deduplication ON (the flag is
+// inverted to NoDedup precisely so that composite literals and the zero
+// value keep Maude's semantics), breadth-first order, and one worker per
+// CPU — so existing callers constructing literals stay correct.
+type Options struct {
+	// MaxDepth bounds the number of rule applications along a path;
+	// 0 means unbounded (the visited set still guarantees termination on
+	// finite state spaces).
+	MaxDepth int
+	// MaxStates aborts the search after visiting this many distinct states;
+	// 0 means unbounded. The budget is exact: StatesExplored never exceeds
+	// it, and the goal-match and enqueue paths apply the same check.
+	MaxStates int
+	// NoDedup disables visited-state deduplication (ablation only). The
+	// inverted sense keeps the zero value meaning "dedup on".
+	NoDedup bool
+	// DepthFirst explores the frontier LIFO instead of FIFO. BFS (the
+	// default, what Maude's search does) finds shortest witnesses and
+	// reaches quick verdicts on possible attacks; the DFS ablation shows
+	// why that matters. DepthFirst searches always run sequentially.
+	DepthFirst bool
+	// Workers is the number of goroutines expanding each breadth-first
+	// depth level: 0 means one per CPU (runtime.GOMAXPROCS), 1 forces the
+	// sequential engine. Any value yields verdicts, witnesses, and state
+	// counts identical to Workers=1 — the frontier is expanded level-
+	// synchronized and merged in a fixed order.
+	Workers int
+	// OnStats, if set, receives a progress snapshot after every completed
+	// depth level and once more when the search returns. The snapshot's
+	// maps and slices are reused across calls; callbacks must not retain
+	// or mutate them.
+	OnStats func(*SearchStats)
+}
+
+// DefaultOptions returns the default search configuration. It is the
+// constructor counterpart of the zero value; both mean bounded-only-by-
+// space BFS with deduplication on and one worker per CPU.
+func DefaultOptions() Options { return Options{} }
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SearchStats is the engine's observability surface: what the search did,
+// at what rate, and where the state space bulged. A final snapshot is
+// attached to every SearchResult; Options.OnStats streams per-level
+// snapshots for progress reporting.
+type SearchStats struct {
+	// StatesExplored counts distinct states visited so far.
+	StatesExplored int
+	// Depth is the deepest completed BFS level (0 = only the initial
+	// state). Unset for depth-first searches.
+	Depth int
+	// Frontier holds the breadth-first frontier size per depth
+	// (Frontier[d] = number of states expanded at depth d). Nil for
+	// depth-first searches.
+	Frontier []int
+	// RuleFirings counts, per rule name, how many successor states the
+	// rule generated (before visited-state deduplication).
+	RuleFirings map[string]int
+	// DedupHits counts successors rejected because the state was already
+	// visited.
+	DedupHits int
+	// Elapsed is the wall-clock search time so far.
+	Elapsed time.Duration
+	// Workers is the number of expansion workers used.
+	Workers int
+}
+
+// StatesPerSec is the exploration rate.
+func (st *SearchStats) StatesPerSec() float64 {
+	if st == nil || st.Elapsed <= 0 {
+		return 0
+	}
+	return float64(st.StatesExplored) / st.Elapsed.Seconds()
+}
+
+// DedupRate is the fraction of generated successors rejected as already
+// visited.
+func (st *SearchStats) DedupRate() float64 {
+	gen := st.StatesExplored + st.DedupHits
+	if gen == 0 {
+		return 0
+	}
+	return float64(st.DedupHits) / float64(gen)
+}
+
+// String renders the stats as a compact multi-line report (the cmd/rosa
+// -stats and cmd/privanalyzer -stats output).
+func (st *SearchStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states explored:  %d (%.0f states/sec, %s elapsed, %d workers)\n",
+		st.StatesExplored, st.StatesPerSec(), st.Elapsed.Round(time.Microsecond), st.Workers)
+	fmt.Fprintf(&b, "dedup hits:       %d (%.1f%% of generated successors)\n",
+		st.DedupHits, 100*st.DedupRate())
+	if len(st.Frontier) > 0 {
+		fmt.Fprintf(&b, "frontier by depth:")
+		for d, n := range st.Frontier {
+			fmt.Fprintf(&b, " %d:%d", d, n)
+		}
+		b.WriteByte('\n')
+	}
+	if len(st.RuleFirings) > 0 {
+		names := make([]string, 0, len(st.RuleFirings))
+		for name := range st.RuleFirings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "rule firings:    ")
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s:%d", name, st.RuleFirings[name])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// node is one entry of the search frontier. Nodes carry parent links
+// instead of copied path slices, so enqueuing is O(1) and the witness is
+// materialized only when a goal is found.
+type node struct {
+	state  *Term
+	rule   string // rule that produced state; "" for the root
+	parent *node
+	depth  int
+}
+
+// witness materializes the rule path from the root to n.
+func (n *node) witness() []Step {
+	var out []Step
+	for ; n != nil && n.parent != nil; n = n.parent {
+		out = append(out, Step{Rule: n.rule, Result: n.state})
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// SearchContext runs Maude-style `search init =>* goal` over the rule
+// transition graph, bounded by opts and cancellable through ctx. Breadth-
+// first searches expand each depth frontier with opts.Workers goroutines
+// and merge results in frontier order, so verdicts, witnesses, and
+// StatesExplored are deterministic and identical to a sequential run.
+//
+// Cancellation (or a context deadline — the analogue of the paper's
+// five-hour wall clock limit) stops the search promptly and returns a
+// result with Interrupted set and no error; callers map it to the same
+// Unknown verdict as a state-budget truncation.
+func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts Options) (*SearchResult, error) {
+	start, err := s.Normalize(init)
+	if err != nil {
+		return nil, err
+	}
+	stats := &SearchStats{RuleFirings: make(map[string]int), Workers: opts.workers()}
+	if opts.DepthFirst {
+		stats.Workers = 1
+	}
+	began := time.Now()
+	res := &SearchResult{StatesExplored: 1, Stats: stats}
+	snapshot := func() {
+		stats.StatesExplored = res.StatesExplored
+		stats.Elapsed = time.Since(began)
+		if opts.OnStats != nil {
+			opts.OnStats(stats)
+		}
+	}
+	finish := func() (*SearchResult, error) {
+		snapshot()
+		return res, nil
+	}
+
+	// Goal states are recognised the moment they are generated, as Maude's
+	// search does, so a found verdict does not pay for the whole frontier.
+	if goal.matches(start, s.Sig) {
+		res.Found = true
+		res.Final = start
+		return finish()
+	}
+	if ctx.Err() != nil {
+		res.Interrupted = true
+		return finish()
+	}
+
+	if opts.DepthFirst {
+		if err := s.searchDFS(ctx, start, goal, opts, res, stats); err != nil {
+			return nil, err
+		}
+		return finish()
+	}
+	if err := s.searchBFS(ctx, start, goal, opts, res, stats, snapshot); err != nil {
+		return nil, err
+	}
+	return finish()
+}
+
+// expansion is one frontier node's precomputed successor set. Successor
+// generation is pure, so workers compute it ahead of the deterministic
+// merge; goal matching stays in the merge so it runs once per *new* state,
+// never on deduplicated successors.
+type expansion struct {
+	steps []Step
+	err   error
+}
+
+// searchBFS is the level-synchronized parallel breadth-first engine.
+//
+// Each depth level is processed in chunks: workers expand one chunk of
+// frontier nodes concurrently, then the merge replays that chunk in
+// frontier order. Chunking bounds the work wasted past an early exit —
+// when the goal or the state budget lands mid-level, at most one chunk of
+// successors was expanded beyond it, instead of the whole level (which for
+// budget-truncated searches is roughly half the state space). Sequential
+// runs use chunk size 1 and are exactly the classic BFS loop.
+//
+// snapshot refreshes the running stats (and fires OnStats) after each
+// completed level.
+func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, snapshot func()) error {
+	visited := newStateSet()
+	if !opts.NoDedup {
+		visited.add(start)
+	}
+	frontier := []*node{{state: start}}
+
+	w := opts.workers()
+	chunk := 1
+	if w > 1 {
+		// A few nodes per worker amortizes coordination; small enough that
+		// an early exit discards little work.
+		chunk = w * 4
+	}
+
+	for depth := 0; len(frontier) > 0; depth++ {
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			return nil
+		}
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			return nil
+		}
+		stats.Frontier = append(stats.Frontier, len(frontier))
+		stats.Depth = depth
+
+		var nextFrontier []*node
+		for lo := 0; lo < len(frontier); lo += chunk {
+			hi := min(lo+chunk, len(frontier))
+
+			// Expand frontier[lo:hi] concurrently. Workers claim indices
+			// from a shared counter; each expansion lands in its own slot,
+			// so the merge below can replay them in frontier order.
+			exps := make([]expansion, hi-lo)
+			expand := func(i int) {
+				succs, err := s.Successors(frontier[i].state)
+				if err != nil {
+					exps[i-lo].err = err
+					return
+				}
+				for _, st := range succs {
+					st.Result.Hash() // warm the memo outside the merge
+				}
+				exps[i-lo].steps = succs
+			}
+			if cw := min(w, hi-lo); cw <= 1 {
+				if ctx.Err() != nil {
+					res.Interrupted = true
+					return nil
+				}
+				for i := lo; i < hi; i++ {
+					expand(i)
+				}
+			} else {
+				var next atomic.Int64
+				next.Store(int64(lo))
+				var wg sync.WaitGroup
+				for k := 0; k < cw; k++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= hi || ctx.Err() != nil {
+								return
+							}
+							expand(i)
+						}
+					}()
+				}
+				wg.Wait()
+				if ctx.Err() != nil {
+					res.Interrupted = true
+					return nil
+				}
+			}
+
+			// Merge in frontier order — this loop IS the sequential
+			// algorithm, only with the successor sets precomputed, which is
+			// why verdicts, witnesses, and state counts match the Workers=1
+			// run exactly. Exits (goal, budget) land at the same successor
+			// regardless of worker count or chunk boundaries.
+			for i := lo; i < hi; i++ {
+				if exps[i-lo].err != nil {
+					return exps[i-lo].err
+				}
+				n := frontier[i]
+				for _, st := range exps[i-lo].steps {
+					stats.RuleFirings[st.Rule]++
+					if !opts.NoDedup && !visited.add(st.Result) {
+						stats.DedupHits++
+						continue
+					}
+					if opts.MaxStates > 0 && res.StatesExplored >= opts.MaxStates {
+						res.Truncated = true
+						return nil
+					}
+					res.StatesExplored++
+					child := &node{state: st.Result, rule: st.Rule, parent: n, depth: depth + 1}
+					if goal.matches(st.Result, s.Sig) {
+						res.Found = true
+						res.Final = st.Result
+						res.Witness = child.witness()
+						return nil
+					}
+					nextFrontier = append(nextFrontier, child)
+				}
+			}
+		}
+		frontier = nextFrontier
+		if opts.OnStats != nil {
+			snapshot()
+		}
+	}
+	return nil
+}
+
+// searchDFS is the sequential LIFO engine (the frontier-order ablation).
+func (s *System) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats) error {
+	visited := newStateSet()
+	if !opts.NoDedup {
+		visited.add(start)
+	}
+	stack := []*node{{state: start}}
+	for len(stack) > 0 {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			return nil
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
+			continue
+		}
+		succs, err := s.Successors(n.state)
+		if err != nil {
+			return err
+		}
+		for _, st := range succs {
+			stats.RuleFirings[st.Rule]++
+			if !opts.NoDedup && !visited.add(st.Result) {
+				stats.DedupHits++
+				continue
+			}
+			if opts.MaxStates > 0 && res.StatesExplored >= opts.MaxStates {
+				res.Truncated = true
+				return nil
+			}
+			res.StatesExplored++
+			child := &node{state: st.Result, rule: st.Rule, parent: n, depth: n.depth + 1}
+			if goal.matches(st.Result, s.Sig) {
+				res.Found = true
+				res.Final = st.Result
+				res.Witness = child.witness()
+				return nil
+			}
+			stack = append(stack, child)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -135,20 +136,19 @@ type Step struct {
 // Successors returns every state reachable from t by one rule application.
 // Rules are tried at the root and, recursively, at every subterm position
 // (congruence), then the results are normalized. Duplicate successors are
-// coalesced by canonical rendering.
+// coalesced by structural equality (hash-interned, like the search's
+// visited set).
 func (s *System) Successors(t *Term) ([]Step, error) {
 	var steps []Step
-	seen := make(map[string]bool)
+	seen := newStateSet()
 	emit := func(name string, nt *Term) error {
 		norm, err := s.Normalize(nt)
 		if err != nil {
 			return err
 		}
-		key := norm.String()
-		if seen[key] {
+		if !seen.add(norm) {
 			return nil
 		}
-		seen[key] = true
 		steps = append(steps, Step{Rule: name, Result: norm})
 		return nil
 	}
@@ -187,7 +187,11 @@ func (s *System) Successors(t *Term) ([]Step, error) {
 	return steps, nil
 }
 
-// SearchOptions bounds a search.
+// SearchOptions is the pre-context option surface, kept as a thin
+// compatibility layer over Options.
+//
+// Deprecated: use Options with SearchContext. The pointer-valued Dedup
+// flag is translated to Options.NoDedup.
 type SearchOptions struct {
 	// MaxDepth bounds the number of rule applications along a path;
 	// 0 means unbounded (the visited set still guarantees termination on
@@ -199,11 +203,24 @@ type SearchOptions struct {
 	// Dedup controls visited-state deduplication; it defaults to on and
 	// exists so the ablation benchmark can turn it off.
 	Dedup *bool
-	// DepthFirst explores the frontier LIFO instead of FIFO. BFS (the
-	// default, what Maude's search does) finds shortest witnesses and
-	// reaches quick verdicts on possible attacks; the DFS ablation shows
-	// why that matters.
+	// DepthFirst explores the frontier LIFO instead of FIFO.
 	DepthFirst bool
+}
+
+// options translates the legacy surface to the unified one. Legacy
+// searches stay sequential: callers of the old API may rely on
+// single-threaded rule and goal callbacks.
+func (o SearchOptions) options() Options {
+	n := Options{
+		MaxDepth:   o.MaxDepth,
+		MaxStates:  o.MaxStates,
+		DepthFirst: o.DepthFirst,
+		Workers:    1,
+	}
+	if o.Dedup != nil {
+		n.NoDedup = !*o.Dedup
+	}
+	return n
 }
 
 // SearchResult reports the outcome of a search.
@@ -215,11 +232,19 @@ type SearchResult struct {
 	Witness []Step
 	// Final is the matched goal state, nil if not found.
 	Final *Term
-	// StatesExplored counts distinct states visited.
+	// StatesExplored counts distinct states visited; never exceeds
+	// Options.MaxStates.
 	StatesExplored int
 	// Truncated reports that the search hit MaxStates before exhausting the
 	// space (the paper's ROSA timeouts, ⏱ in Table V).
 	Truncated bool
+	// Interrupted reports that the context was cancelled or its deadline
+	// expired before the search finished — the wall-clock analogue of
+	// Truncated (the paper's five-hour limit). Callers map both to the
+	// Unknown verdict.
+	Interrupted bool
+	// Stats is the final observability snapshot for this search.
+	Stats *SearchStats
 }
 
 // Goal is a search target: a pattern with variables plus an optional
@@ -244,77 +269,11 @@ func (g Goal) matches(state *Term, sig Signature) bool {
 
 // Search runs Maude-style `search init =>* goal` as a breadth-first
 // exploration of the rule-transition graph, returning the shortest witness
-// when the goal is reachable.
+// when the goal is reachable. It is the pre-context entry point, kept as a
+// thin wrapper over SearchContext; it cannot be cancelled and always runs
+// sequentially.
 func (s *System) Search(init *Term, goal Goal, opts SearchOptions) (*SearchResult, error) {
-	start, err := s.Normalize(init)
-	if err != nil {
-		return nil, err
-	}
-	dedup := true
-	if opts.Dedup != nil {
-		dedup = *opts.Dedup
-	}
-
-	type node struct {
-		state *Term
-		path  []Step
-		depth int
-	}
-	res := &SearchResult{}
-	res.StatesExplored = 1
-	// Goal states are recognised the moment they are generated, as Maude's
-	// search does, so a found verdict does not pay for the whole frontier.
-	if goal.matches(start, s.Sig) {
-		res.Found = true
-		res.Final = start
-		return res, nil
-	}
-	queue := []node{{state: start}}
-	visited := map[string]bool{start.String(): true}
-
-	for len(queue) > 0 {
-		var n node
-		if opts.DepthFirst {
-			n = queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-		} else {
-			n = queue[0]
-			queue = queue[1:]
-		}
-
-		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
-			continue
-		}
-		succs, err := s.Successors(n.state)
-		if err != nil {
-			return nil, err
-		}
-		for _, st := range succs {
-			key := st.Result.String()
-			if dedup && visited[key] {
-				continue
-			}
-			if dedup {
-				visited[key] = true
-			}
-			res.StatesExplored++
-			path := make([]Step, len(n.path)+1)
-			copy(path, n.path)
-			path[len(n.path)] = st
-			if goal.matches(st.Result, s.Sig) {
-				res.Found = true
-				res.Witness = path
-				res.Final = st.Result
-				return res, nil
-			}
-			if opts.MaxStates > 0 && res.StatesExplored > opts.MaxStates {
-				res.Truncated = true
-				return res, nil
-			}
-			queue = append(queue, node{state: st.Result, path: path, depth: n.depth + 1})
-		}
-	}
-	return res, nil
+	return s.SearchContext(context.Background(), init, goal, opts.options())
 }
 
 // FormatWitness renders a witness as numbered rule applications, one per

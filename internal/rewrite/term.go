@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates term shapes.
@@ -37,9 +38,9 @@ const (
 
 // Term is an immutable term. Construct terms with the helper functions and
 // never mutate fields after construction; the engine shares subterms freely.
-// String memoizes its rendering in the term, so a Term value must not be
-// rendered concurrently from multiple goroutines unless it was fully
-// rendered once beforehand; independent queries build independent terms.
+// String and Hash memoize their results atomically, so terms may be shared
+// between concurrent search workers. Always handle terms as *Term — the
+// memo fields make the struct non-copyable.
 type Term struct {
 	Kind Kind
 	// Sym is the constructor symbol (Op) or variable name (Var).
@@ -53,7 +54,8 @@ type Term struct {
 	// Args are the arguments of an Op or the elements of a Config.
 	Args []*Term
 
-	str string // memoized canonical rendering
+	str  atomic.Pointer[string] // memoized canonical rendering
+	hash atomic.Uint64          // memoized structural hash; 0 = unset
 }
 
 // NewInt returns an integer term.
@@ -103,6 +105,8 @@ func (t *Term) MustInt() int64 {
 }
 
 // Equal reports structural equality modulo configuration element order.
+// It compares structurally (with hash-guided alignment of configuration
+// elements) and never renders, so it is cheap and safe under concurrency.
 func (t *Term) Equal(u *Term) bool {
 	if t == u {
 		return true
@@ -110,23 +114,28 @@ func (t *Term) Equal(u *Term) bool {
 	if t == nil || u == nil {
 		return false
 	}
-	return t.String() == u.String()
+	if t.Hash() != u.Hash() {
+		return false
+	}
+	return structEqual(t, u)
 }
 
 // String renders the term canonically: configurations print their elements
-// sorted, so equal configurations render identically (the property the
-// search's visited-state set relies on).
+// sorted, so equal configurations render identically. The rendering is
+// memoized atomically; concurrent first renderings both compute the same
+// string and one wins.
 func (t *Term) String() string {
 	if t == nil {
 		return "<nil>"
 	}
-	if t.str != "" {
-		return t.str
+	if s := t.str.Load(); s != nil {
+		return *s
 	}
 	var b strings.Builder
 	t.render(&b)
-	t.str = b.String()
-	return t.str
+	s := b.String()
+	t.str.Store(&s)
+	return s
 }
 
 func (t *Term) render(b *strings.Builder) {

@@ -1,6 +1,8 @@
 package rosa
 
 import (
+	"context"
+
 	"privanalyzer/internal/rewrite"
 )
 
@@ -211,5 +213,11 @@ func NewExtendedSystem() *rewrite.System {
 
 // RunExtended executes the query against the extended system.
 func (q *Query) RunExtended() (*Result, error) {
-	return q.runOn(NewExtendedSystem())
+	return q.RunExtendedContext(context.Background())
+}
+
+// RunExtendedContext executes the query against the extended system under
+// ctx, with the same cancellation semantics as RunContext.
+func (q *Query) RunExtendedContext(ctx context.Context) (*Result, error) {
+	return q.runOn(ctx, NewExtendedSystem())
 }

@@ -1,6 +1,7 @@
 package rosa
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,12 @@ func (v Verdict) String() string {
 
 // Query is one bounded model-checking question: from an initial
 // configuration of objects and syscall messages, can a state matching Goal
-// be reached?
+// be reached? The embedded rewrite.Options is the single option surface
+// shared with the engine — MaxStates, MaxDepth, NoDedup, DepthFirst,
+// Workers, OnStats are all promoted fields; the zero value is the default
+// configuration (Dedup on, BFS, one search worker per CPU). The only
+// rosa-specific twist: MaxStates 0 means DefaultMaxStates rather than
+// unbounded, so every query has the paper's timeout analogue.
 type Query struct {
 	// Objects are the initial objects (processes, files, dirs, sockets,
 	// users, groups).
@@ -51,21 +57,20 @@ type Query struct {
 	Messages []*rewrite.Term
 	// Goal is the compromised-state pattern.
 	Goal rewrite.Goal
-	// MaxStates bounds the search (0 = DefaultMaxStates); exceeding it
-	// yields the Unknown verdict.
-	MaxStates int
-	// MaxDepth bounds the path length (0 = unbounded).
-	MaxDepth int
-	// DepthFirst switches the search to LIFO frontier order (ablation
-	// only; Maude's search and the default are breadth-first).
-	DepthFirst bool
-	// Dedup overrides visited-state deduplication (ablation only; nil
-	// means on).
-	Dedup *bool
+	// Options bounds and tunes the search. Exceeding MaxStates (or the
+	// context deadline in RunContext) yields the Unknown verdict.
+	rewrite.Options
 	// Extended runs the query against the §X extended system (Capsicum
 	// capability mode, CFI sequencing). Queries without extension objects
 	// get identical verdicts either way.
 	Extended bool
+}
+
+// NewQuery returns a query over the given initial configuration with the
+// default search configuration (the zero Options plus the standing
+// DefaultMaxStates budget applied at run time).
+func NewQuery(objects, messages []*rewrite.Term, goal rewrite.Goal) *Query {
+	return &Query{Objects: objects, Messages: messages, Goal: goal, Options: rewrite.DefaultOptions()}
 }
 
 // DefaultMaxStates is the search budget standing in for the paper's
@@ -83,6 +88,9 @@ type Result struct {
 	StatesExplored int
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
+	// Stats is the search's observability snapshot (states/sec, frontier
+	// per depth, per-rule firings, dedup rate).
+	Stats *rewrite.SearchStats
 }
 
 // InitialState returns the query's initial configuration term.
@@ -93,40 +101,45 @@ func (q *Query) InitialState() *rewrite.Term {
 	return rewrite.NewConfig(elems...)
 }
 
-// Run executes the bounded search and returns the verdict.
+// Run executes the bounded search and returns the verdict. It is the
+// pre-context entry point, a thin wrapper over RunContext.
 func (q *Query) Run() (*Result, error) {
+	return q.RunContext(context.Background())
+}
+
+// RunContext executes the bounded search under ctx. Cancelling the context
+// (or letting its deadline expire — the true analogue of the paper's
+// five-hour wall-clock limit, §VII-D2) stops the search promptly and
+// yields the Unknown (⏱) verdict, exactly like exceeding the state budget.
+func (q *Query) RunContext(ctx context.Context) (*Result, error) {
 	if q.Extended {
-		return q.runOn(NewExtendedSystem())
+		return q.runOn(ctx, NewExtendedSystem())
 	}
-	return q.runOn(NewSystem())
+	return q.runOn(ctx, NewSystem())
 }
 
 // runOn executes the query against an explicit rewrite theory (the base
 // system or the §X extended one).
-func (q *Query) runOn(sys *rewrite.System) (*Result, error) {
-	maxStates := q.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
+func (q *Query) runOn(ctx context.Context, sys *rewrite.System) (*Result, error) {
+	opts := q.Options
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
 	}
 	start := time.Now()
-	sr, err := sys.Search(q.InitialState(), q.Goal, rewrite.SearchOptions{
-		MaxStates:  maxStates,
-		MaxDepth:   q.MaxDepth,
-		DepthFirst: q.DepthFirst,
-		Dedup:      q.Dedup,
-	})
+	sr, err := sys.SearchContext(ctx, q.InitialState(), q.Goal, opts)
 	if err != nil {
 		return nil, fmt.Errorf("rosa: %w", err)
 	}
 	res := &Result{
 		StatesExplored: sr.StatesExplored,
 		Elapsed:        time.Since(start),
+		Stats:          sr.Stats,
 	}
 	switch {
 	case sr.Found:
 		res.Verdict = Vulnerable
 		res.Witness = sr.Witness
-	case sr.Truncated:
+	case sr.Truncated, sr.Interrupted:
 		res.Verdict = Unknown
 	default:
 		res.Verdict = Safe

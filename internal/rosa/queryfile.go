@@ -29,6 +29,8 @@ var ErrQueryFile = errors.New("rosa: bad query file")
 //	goal: read 3
 //	maxstates: 100000
 //	extended: true
+//	workers: 4      # search workers per depth level (0 = one per CPU)
+//	dedup: false    # disable visited-state deduplication (ablation)
 //
 // Terms use the functional syntax of rewrite.ParseTerm; capability-set
 // message arguments are the Set bit patterns (caps.Set values). Goals:
@@ -91,6 +93,20 @@ func ParseQuery(src string) (*Query, error) {
 				return nil, errf("bad extended: %v", err)
 			}
 			q.Extended = v
+			continue
+		case strings.HasPrefix(lower, "workers:"):
+			n, err := strconv.Atoi(strings.TrimSpace(line[len("workers:"):]))
+			if err != nil {
+				return nil, errf("bad workers: %v", err)
+			}
+			q.Workers = n
+			continue
+		case strings.HasPrefix(lower, "dedup:"):
+			v, err := strconv.ParseBool(strings.TrimSpace(line[len("dedup:"):]))
+			if err != nil {
+				return nil, errf("bad dedup: %v", err)
+			}
+			q.NoDedup = !v
 			continue
 		}
 

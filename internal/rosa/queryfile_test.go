@@ -104,6 +104,31 @@ extended: true
 	}
 }
 
+func TestParseQuerySearchDirectives(t *testing.T) {
+	src := `
+objects:
+Process(1,2,2,2,2,2,2,run,set,set)
+messages:
+goal: read 3
+workers: 4
+dedup: false
+maxdepth: 7
+`
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", q.Workers)
+	}
+	if !q.NoDedup {
+		t.Error("dedup: false did not disable deduplication")
+	}
+	if q.MaxDepth != 7 {
+		t.Errorf("MaxDepth = %d, want 7", q.MaxDepth)
+	}
+}
+
 func TestParseQueryErrors(t *testing.T) {
 	tests := []struct {
 		name string
