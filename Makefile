@@ -18,9 +18,9 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detector pass over the packages with concurrent code paths (the
-# level-parallel search engine and its callers).
+# level-parallel search engine, its callers, and the telemetry registry).
 test-race:
-	$(GO) test -race ./internal/rewrite/ ./internal/rosa/ ./internal/core/
+	$(GO) test -race ./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/telemetry/
 
 # Quick full benchmark sweep (one iteration per cell); the default
 # benchtime takes far longer across BenchmarkROSA's ~140 cells.

@@ -19,6 +19,7 @@ package privanalyzer
 // sweep.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,6 +28,7 @@ import (
 	"privanalyzer/internal/core"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/rosa"
+	"privanalyzer/internal/telemetry"
 )
 
 // benchPrograms caches calibrated models across benchmarks.
@@ -111,6 +113,31 @@ func BenchmarkPipeline(b *testing.B) {
 			b.ReportMetric(float64(total), "dyn-instrs")
 		})
 	}
+}
+
+// BenchmarkTelemetry measures the cost of the instrumentation that PR added
+// to the measurement pipeline: "disabled" runs with no registry in the
+// context (the default for every caller that doesn't opt in — its ns/op must
+// stay within noise of BenchmarkPipeline's), "enabled" carries a live
+// registry and pays for the spans and counters.
+func BenchmarkTelemetry(b *testing.B) {
+	p := benchProgram(b, "passwd")
+	b.Run("disabled", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.MeasureContext(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		ctx := telemetry.NewContext(context.Background(), telemetry.New())
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.MeasureContext(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblation measures the design choices DESIGN.md documents.

@@ -8,6 +8,8 @@
 //
 //	chronopriv -program passwd
 //	chronopriv -program sshd -trace     # also dump the syscall trace
+//	chronopriv -program passwd -json    # the report as machine-readable JSON
+//	chronopriv -program su -hot 10      # the 10 hottest basic blocks
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"privanalyzer/internal/chronopriv"
 	"privanalyzer/internal/interp"
 	"privanalyzer/internal/programs"
+	"privanalyzer/internal/report"
 )
 
 func main() {
@@ -28,8 +31,10 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("chronopriv", flag.ContinueOnError)
 	var (
-		program = fs.String("program", "", "program to measure ("+fmt.Sprint(programs.Names())+")")
-		trace   = fs.Bool("trace", false, "print the kernel syscall trace")
+		program  = fs.String("program", "", "program to measure ("+fmt.Sprint(programs.Names())+")")
+		trace    = fs.Bool("trace", false, "print the kernel syscall trace")
+		jsonOut  = fs.Bool("json", false, "print the report as JSON instead of the table")
+		hotCount = fs.Int("hot", 0, "also print the N hottest basic blocks by instructions executed (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,16 +60,29 @@ func run(args []string) int {
 	res, err := interp.Run(ares.Module, k, interp.Options{
 		MainArgs: p.MainArgs,
 		OnStep:   rt.OnStep,
+		Profile:  *hotCount > 0,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronopriv:", err)
 		return 1
 	}
 
+	if *jsonOut {
+		if err := rt.Report(p.Name).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "chronopriv:", err)
+			return 1
+		}
+		return 0
+	}
+
 	fmt.Printf("workload: %s\n", p.Workload)
 	fmt.Printf("initial permitted set (AutoPriv): %s\n", ares.RequiredPermitted)
 	fmt.Printf("executed %d instructions (exited=%v)\n\n", res.Steps, res.Exited)
 	fmt.Print(rt.Report(p.Name))
+
+	if *hotCount > 0 {
+		fmt.Printf("\n%s", report.HotBlocksTable(res.Profile, *hotCount))
+	}
 
 	if *trace {
 		fmt.Println("\nsyscall trace:")

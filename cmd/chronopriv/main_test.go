@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden files")
 
 func capture(t *testing.T, f func() int) (string, int) {
 	t.Helper()
@@ -57,6 +62,52 @@ func TestRunTrace(t *testing.T) {
 	}
 	if strings.Contains(out, "EPERM") {
 		t.Errorf("workload run had permission failures:\n%s", out)
+	}
+}
+
+func TestRunJSONGolden(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "passwd", "-json"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	var rep struct {
+		Program string `json:"program"`
+		Total   int64  `json:"total_instructions"`
+		Phases  []any  `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Program != "passwd" || rep.Total == 0 || len(rep.Phases) == 0 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	golden := filepath.Join("testdata", "passwd.json")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("-json output differs from %s (rerun with -update to accept):\ngot:\n%s\nwant:\n%s",
+			golden, out, want)
+	}
+}
+
+func TestRunHot(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "passwd", "-hot", "3"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{
+		"hot blocks (3 of", "Instructions", "Share", "@main:prompt_b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-hot output missing %q:\n%s", want, out)
+		}
 	}
 }
 

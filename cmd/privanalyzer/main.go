@@ -13,6 +13,8 @@
 //	privanalyzer -program su -stats       # per-query engine statistics
 //	privanalyzer -program all -timeout 1m # wall-clock limit; late queries get ⏱
 //	privanalyzer -bench-json BENCH_search.json  # Figure 5-11 grid as JSON
+//	privanalyzer -program all -telemetry-json out.jsonl -prom metrics.txt
+//	privanalyzer -program thttpd -pprof localhost:6060  # live pprof while it runs
 package main
 
 import (
@@ -28,13 +30,14 @@ import (
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/report"
 	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) int {
+func run(args []string) (code int) {
 	fs := flag.NewFlagSet("privanalyzer", flag.ContinueOnError)
 	var (
 		tables      = fs.Bool("tables", false, "print the static tables (I, II, IV) and exit")
@@ -50,16 +53,39 @@ func run(args []string) int {
 		parallel    = fs.Bool("parallel", false, "additionally fan the independent queries out over the CPUs")
 		experiments = fs.Bool("experiments", false, "run the full evaluation and print the paper-vs-measured summary")
 		benchJSON   = fs.String("bench-json", "", "run the Figure 5-11 query grid and write per-query benchmark records to this file")
+		telemJSON   = fs.String("telemetry-json", "", "write the run's telemetry (spans and metrics) as JSONL to this file")
+		promPath    = fs.String("prom", "", "write the run's metrics in Prometheus text exposition format to this file")
+		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof on this address while the run executes (e.g. "localhost:6060"; off by default)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	opts := core.Options{
-		Search:   rewrite.Options{MaxStates: *budget, Workers: *workers},
+		Search:   rewrite.Options{MaxStates: *budget, Workers: *workers, Profile: *stats},
 		Parallel: *parallel,
 	}
 	ctx := context.Background()
+	var reg *telemetry.Registry
+	if *telemJSON != "" || *promPath != "" {
+		reg = telemetry.New()
+		ctx = telemetry.NewContext(ctx, reg)
+	}
+	defer func() {
+		if err := flushTelemetry(reg, *telemJSON, *promPath); err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -168,8 +194,18 @@ func run(args []string) int {
 		}
 	}
 	if *stats {
-		for _, a := range append(original, refactored...) {
+		all := append(original, refactored...)
+		for _, a := range all {
 			fmt.Println(report.SearchStatsTable(a))
+		}
+		var sts []*rewrite.SearchStats
+		for _, a := range all {
+			for _, pr := range a.Phases {
+				sts = append(sts, pr.Stats[:]...)
+			}
+		}
+		if prof := report.MergeRuleProfiles(sts); prof != nil {
+			fmt.Println(report.RuleProfileTable(prof))
 		}
 	}
 	if *experiments {
@@ -180,6 +216,41 @@ func run(args []string) int {
 		}
 	}
 	return exitCode
+}
+
+// flushTelemetry writes the run's telemetry to the files requested by
+// -telemetry-json and -prom. A nil registry (neither flag given) is a no-op.
+func flushTelemetry(reg *telemetry.Registry, jsonlPath, promPath string) error {
+	if reg == nil {
+		return nil
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if promPath != "" {
+		f, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // benchRecord is one (program, phase, attack) cell of the Figure 5-11 query

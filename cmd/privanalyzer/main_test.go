@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -99,6 +100,117 @@ func TestRunStatsFlag(t *testing.T) {
 	for _, want := range []string{"ROSA search statistics for ping", "States/sec", "Dedup%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTelemetryFlags runs one program with -telemetry-json and -prom and
+// validates both artifacts: the JSONL must be a parseable span tree (root
+// analyze span, stage and query children) ending in a metrics record, and the
+// Prometheus text must round-trip through a format parse.
+func TestRunTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "out.jsonl")
+	prom := filepath.Join(dir, "metrics.txt")
+	out, code := capture(t, func() int {
+		return run([]string{"-program", "ping", "-telemetry-json", jsonl, "-prom", prom})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Type   string            `json:"type"`
+		ID     int64             `json:"id"`
+		Parent int64             `json:"parent"`
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels"`
+	}
+	var recs []rec
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("%s line %d is not valid JSON: %v\n%s", jsonl, i+1, err, line)
+		}
+		recs = append(recs, r)
+	}
+	names := make(map[string]int)
+	var rootID int64
+	for _, r := range recs {
+		if r.Type != "span" {
+			continue
+		}
+		names[r.Name]++
+		if r.Name == "analyze" {
+			rootID = r.ID
+			if r.Labels["program"] != "ping" {
+				t.Errorf("root span labels = %v, want program=ping", r.Labels)
+			}
+		}
+	}
+	for _, want := range []string{"analyze", "autopriv", "chronopriv", "rosa.query"} {
+		if names[want] == 0 {
+			t.Errorf("no %q span in %s (got %v)", want, jsonl, names)
+		}
+	}
+	for _, r := range recs {
+		if r.Type == "span" && r.Name == "rosa.query" && r.Parent != rootID {
+			t.Errorf("rosa.query span parent = %d, want root %d", r.Parent, rootID)
+		}
+	}
+	if last := recs[len(recs)-1]; last.Type != "metrics" {
+		t.Errorf("last JSONL record type = %q, want metrics", last.Type)
+	}
+
+	// Prometheus text round-trip: every line is a comment or a
+	// name{labels} value sample, and the advertised TYPE families all
+	// have at least one sample.
+	ptext, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := make(map[string]bool)
+	samples := make(map[string]int)
+	for i, line := range strings.Split(strings.TrimSpace(string(ptext)), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("%s line %d: malformed TYPE comment %q", prom, i+1, line)
+			}
+			families[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if base, _, hasLabels := strings.Cut(name, "{"); hasLabels && !strings.HasSuffix(name, "}") {
+			t.Errorf("%s line %d: unterminated labels in %q", prom, i+1, line)
+		} else if hasLabels {
+			name = base
+		}
+		if !ok || name == "" {
+			t.Errorf("%s line %d: malformed sample %q", prom, i+1, line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Errorf("%s line %d: non-numeric value %q", prom, i+1, line)
+		}
+		samples[strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")]++
+		samples[name]++
+	}
+	for fam := range families {
+		if samples[fam] == 0 {
+			t.Errorf("TYPE %s advertised but no samples in %s", fam, prom)
+		}
+	}
+	for _, want := range []string{"core_analyses_total", "rosa_queries_total", "rosa_query_elapsed_ns"} {
+		if !families[want] {
+			t.Errorf("metric family %q missing from %s (got %v)", want, prom, families)
 		}
 	}
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// servePprof starts a net/http/pprof server on addr in the background. The
+// import lives in this file so the profiling endpoints exist only behind the
+// explicit -pprof flag; nothing listens by default. Binding errors surface
+// synchronously so a bad address fails the run instead of silently profiling
+// nothing.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // server lives for the process
+	return nil
+}

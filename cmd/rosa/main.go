@@ -25,6 +25,7 @@ import (
 
 	"privanalyzer/internal/attacks"
 	"privanalyzer/internal/caps"
+	"privanalyzer/internal/report"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
 	"privanalyzer/internal/vkernel"
@@ -45,7 +46,7 @@ func run(args []string) int {
 		budget   = fs.Int("budget", 0, "state budget (0 = default)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock search limit; an expired deadline yields the ⏱ verdict (0 = none)")
 		workers  = fs.Int("workers", 0, "search workers per depth level (0 = one per CPU, 1 = sequential)")
-		stats    = fs.Bool("stats", false, "print the search statistics (states/sec, frontier shape, rule firings, dedup rate)")
+		stats    = fs.Bool("stats", false, "print the search statistics (states/sec, frontier shape, dedup rate) and the per-rule cost profile")
 		example  = fs.Bool("example", false, "run the paper's worked example (Figures 2-4) instead")
 		query    = fs.String("query", "", "run a query file (rosa.ParseQuery format) instead")
 		maude    = fs.Bool("maude", false, "also print the query in the paper's Maude syntax")
@@ -181,6 +182,7 @@ func (r reporter) report(what string, q *rosa.Query) int {
 	if r.workers != 0 {
 		q.Workers = r.workers
 	}
+	q.Profile = r.stats
 	ctx := context.Background()
 	if r.timeout > 0 {
 		var cancel context.CancelFunc
@@ -197,7 +199,7 @@ func (r reporter) report(what string, q *rosa.Query) int {
 		fmt.Printf("\nwitness (attack syscall sequence):\n%s", rewrite.FormatWitness(res.Witness))
 	}
 	if r.stats && res.Stats != nil {
-		fmt.Printf("\n%s", res.Stats)
+		fmt.Printf("\n%s", report.SearchStatsText(res.Stats))
 	}
 	return 0
 }

@@ -141,7 +141,11 @@ func TestRunStatsFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d\n%s", code, out)
 	}
-	for _, want := range []string{"states explored:", "dedup hits:", "frontier by depth:", "rule firings:"} {
+	for _, want := range []string{
+		"states explored:", "dedup hits:", "frontier by depth:",
+		"rule profile (by cumulative match latency)", "Cumulative",
+		"open", "setuid",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-stats output missing %q:\n%s", want, out)
 		}

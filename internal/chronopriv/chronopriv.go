@@ -23,7 +23,9 @@
 package chronopriv
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"privanalyzer/internal/caps"
@@ -190,6 +192,45 @@ func (rep *Report) Find(key caps.PhaseKey) *Phase {
 		if rep.Phases[i].Key() == key {
 			return &rep.Phases[i]
 		}
+	}
+	return nil
+}
+
+// phaseJSON is the wire form of one phase row (cmd/chronopriv -json).
+type phaseJSON struct {
+	Privileges   []string `json:"privileges"`
+	UID          [3]int   `json:"uid"` // real, effective, saved
+	GID          [3]int   `json:"gid"`
+	Instructions int64    `json:"instructions"`
+	Percent      float64  `json:"percent"`
+}
+
+// reportJSON is the wire form of a Report.
+type reportJSON struct {
+	Program string      `json:"program"`
+	Total   int64       `json:"total_instructions"`
+	Phases  []phaseJSON `json:"phases"`
+}
+
+// WriteJSON writes the report as indented JSON: program, run total, and the
+// phase rows (privileges as sorted capability names, credential triples,
+// dynamic instruction counts) in chronological order — the machine-readable
+// Table III/V fragment behind cmd/chronopriv -json.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	out := reportJSON{Program: rep.Program, Total: rep.Total, Phases: []phaseJSON{}}
+	for _, p := range rep.Phases {
+		out.Phases = append(out.Phases, phaseJSON{
+			Privileges:   p.Privileges.SortedNames(),
+			UID:          [3]int{p.RUID, p.EUID, p.SUID},
+			GID:          [3]int{p.RGID, p.EGID, p.SGID},
+			Instructions: p.Instructions,
+			Percent:      p.Percent,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("chronopriv: %w", err)
 	}
 	return nil
 }

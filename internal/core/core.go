@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
+	"privanalyzer/internal/telemetry"
 )
 
 // Options configures an analysis. Per-query search tuning lives in Search —
@@ -102,7 +104,17 @@ func Analyze(p *programs.Program, opts Options) (*Analysis, error) {
 // ctx. A context deadline is the paper's wall-clock analysis limit: ROSA
 // queries still pending when it expires finish promptly with the Unknown
 // (⏱) verdict — the analysis itself still completes and reports them.
+//
+// When ctx carries a telemetry.Registry (telemetry.NewContext), the analysis
+// opens a root span per program with child spans per stage — autopriv,
+// chronopriv, and one rosa.query span per (phase, attack) tagged
+// {program, phase, attack, verdict} — and feeds the registry's counters and
+// histograms. Without a registry the telemetry calls are no-ops.
 func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*Analysis, error) {
+	root, ctx := telemetry.StartSpan(ctx, "analyze", "program", p.Name)
+	defer root.End()
+	telemetry.FromContext(ctx).Counter("core_analyses_total").Add(1)
+
 	search := opts.Search
 	if search.MaxStates <= 0 {
 		search.MaxStates = opts.MaxStates
@@ -115,7 +127,7 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 		ids = attacks.All
 	}
 
-	rep, ares, err := p.Measure()
+	rep, ares, err := p.MeasureContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -153,7 +165,16 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 	results := make([]*rosa.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
-		results[i], errs[i] = jobs[i].query.RunContext(ctx)
+		j := jobs[i]
+		sp, qctx := telemetry.StartSpan(ctx, "rosa.query",
+			"program", p.Name,
+			"phase", a.Phases[j.phase].Spec.Name,
+			"attack", strconv.Itoa(int(j.attack)))
+		results[i], errs[i] = j.query.RunContext(qctx)
+		if results[i] != nil {
+			sp.SetLabel("verdict", results[i].Verdict.String())
+		}
+		sp.End()
 	}
 	if opts.Parallel && len(jobs) > 1 {
 		workers := runtime.NumCPU()

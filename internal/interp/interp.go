@@ -59,6 +59,10 @@ type Options struct {
 	// Intercept, if set, may claim syscalls before kernel dispatch.
 	// Intercepted syscalls are not counted as executed instructions.
 	Intercept Interceptor
+	// Profile collects the hot-block profile (counted instructions per
+	// basic block), reported in Result.Profile. The cost is one slice
+	// increment per instruction; disabled it costs a nil check.
+	Profile bool
 }
 
 // Result summarises a completed run.
@@ -70,6 +74,8 @@ type Result struct {
 	// Exited reports whether the program ended via the exit syscall rather
 	// than returning from main.
 	Exited bool
+	// Profile is the hot-block profile; nil unless Options.Profile was set.
+	Profile *BlockProfile
 }
 
 // rkind discriminates runtime values.
@@ -103,6 +109,7 @@ type machine struct {
 	steps  int64
 	depth  int
 	exited bool
+	prof   *BlockProfile // nil unless Options.Profile
 }
 
 // Run executes module m's main function on kernel k. The kernel must have a
@@ -126,6 +133,9 @@ func Run(m *ir.Module, k *vkernel.Kernel, opts Options) (*Result, error) {
 	if vm.fuel <= 0 {
 		vm.fuel = defaultFuel
 	}
+	if opts.Profile {
+		vm.prof = newBlockProfile()
+	}
 	cf := code["main"]
 	args := make([]rval, len(main.Params))
 	for i := range main.Params {
@@ -139,7 +149,7 @@ func Run(m *ir.Module, k *vkernel.Kernel, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Steps: vm.steps, Exited: vm.exited}
+	res := &Result{Steps: vm.steps, Exited: vm.exited, Profile: vm.prof}
 	if ret.kind == rInt {
 		res.Ret = ret.i
 	}
@@ -181,6 +191,10 @@ func (vm *machine) call(cf *cfunc, args []rval) (rval, error) {
 	}
 
 	hook := vm.opts.OnStep
+	var bcounts []int64
+	if vm.prof != nil {
+		bcounts = vm.prof.slots(cf)
+	}
 	bi := 0
 block:
 	for {
@@ -217,6 +231,9 @@ block:
 				hook(cf.fn, cb.b, in.src, vm.k.Current().Creds.Phase())
 			}
 			vm.steps++
+			if bcounts != nil {
+				bcounts[bi]++
+			}
 
 			switch in.op {
 			case cConst:

@@ -1,0 +1,77 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"privanalyzer/internal/ir"
+)
+
+// loopModule is the 100-iteration counting loop with a known per-block step
+// breakdown: entry 3, header 2×101, body 3×100, exit 1.
+func loopModule() *ir.Module {
+	b := ir.NewModuleBuilder("m")
+	f := b.Func("main")
+	f.Block("entry").Const("i", 0).Const("acc", 0).Jmp("header")
+	f.Block("header").
+		Cmp("c", ir.Lt, ir.R("i"), ir.I(100)).
+		Br(ir.R("c"), "body", "exit")
+	f.Block("body").
+		Bin("acc", ir.Add, ir.R("acc"), ir.R("i")).
+		Bin("i", ir.Add, ir.R("i"), ir.I(1)).
+		Jmp("header")
+	f.Block("exit").RetVal(ir.R("acc"))
+	return b.MustBuild()
+}
+
+func TestBlockProfile(t *testing.T) {
+	res, _ := run(t, loopModule(), 0, Options{Profile: true})
+	p := res.Profile
+	if p == nil {
+		t.Fatal("Options.Profile set but Result.Profile is nil")
+	}
+	if p.Total() != res.Steps {
+		t.Errorf("profile total %d != steps %d", p.Total(), res.Steps)
+	}
+	want := map[string]int64{"entry": 3, "header": 202, "body": 300, "exit": 1}
+	for _, bc := range p.Top(0) {
+		if bc.Fn != "main" {
+			t.Errorf("unexpected function %q in profile", bc.Fn)
+		}
+		if bc.Steps != want[bc.Block] {
+			t.Errorf("block %s: %d steps, want %d", bc.Block, bc.Steps, want[bc.Block])
+		}
+		delete(want, bc.Block)
+	}
+	for blk := range want {
+		t.Errorf("block %s missing from profile", blk)
+	}
+
+	top := p.Top(2)
+	if len(top) != 2 || top[0].Block != "body" || top[1].Block != "header" {
+		t.Errorf("Top(2) = %v, want body then header", top)
+	}
+}
+
+func TestBlockProfileTable(t *testing.T) {
+	res, _ := run(t, loopModule(), 0, Options{Profile: true})
+	out := res.Profile.Table(2)
+	for _, want := range []string{
+		"hot blocks (2 of 4 executed, 506 instructions total)",
+		"@main:body", "@main:header", "59.29%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "@main:exit") {
+		t.Errorf("Table(2) should truncate to the two hottest blocks:\n%s", out)
+	}
+}
+
+func TestBlockProfileOffByDefault(t *testing.T) {
+	res, _ := run(t, loopModule(), 0, Options{})
+	if res.Profile != nil {
+		t.Errorf("Result.Profile = %v without Options.Profile, want nil", res.Profile)
+	}
+}

@@ -21,6 +21,7 @@
 package programs
 
 import (
+	"context"
 	"fmt"
 
 	"privanalyzer/internal/autopriv"
@@ -28,6 +29,7 @@ import (
 	"privanalyzer/internal/chronopriv"
 	"privanalyzer/internal/interp"
 	"privanalyzer/internal/ir"
+	"privanalyzer/internal/telemetry"
 	"privanalyzer/internal/vkernel"
 )
 
@@ -170,22 +172,39 @@ func (p *Program) NewKernel(permitted caps.Set) *vkernel.Kernel {
 // transforms the model, the interpreter executes the workload on a fresh
 // kernel, and ChronoPriv reports per-phase dynamic instruction counts.
 func (p *Program) Measure() (*chronopriv.Report, *autopriv.Result, error) {
-	return measure(p.Module, p)
+	return p.MeasureContext(context.Background())
 }
 
-func measure(m *ir.Module, p *Program) (*chronopriv.Report, *autopriv.Result, error) {
+// MeasureContext is Measure with telemetry: when ctx carries a
+// telemetry.Registry, the AutoPriv analysis and the ChronoPriv interpreter
+// run each get a child span tagged with the program, and the run's dynamic
+// instruction count feeds the chronopriv_instructions_total counter. With a
+// bare context it behaves exactly like Measure.
+func (p *Program) MeasureContext(ctx context.Context) (*chronopriv.Report, *autopriv.Result, error) {
+	return measure(ctx, p.Module, p)
+}
+
+func measure(ctx context.Context, m *ir.Module, p *Program) (*chronopriv.Report, *autopriv.Result, error) {
+	sp, _ := telemetry.StartSpan(ctx, "autopriv", "program", p.Name)
 	ares, err := autopriv.Analyze(m, autopriv.Options{})
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("programs: %s: %w", p.Name, err)
 	}
 	k := p.NewKernel(ares.RequiredPermitted)
 	rt := chronopriv.NewRuntime(k)
-	if _, err := interp.Run(ares.Module, k, interp.Options{
+	sp, _ = telemetry.StartSpan(ctx, "chronopriv", "program", p.Name)
+	res, err := interp.Run(ares.Module, k, interp.Options{
 		MainArgs: p.MainArgs,
 		OnStep:   rt.OnStep,
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, nil, fmt.Errorf("programs: %s: %w", p.Name, err)
 	}
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("chronopriv_runs_total").Add(1)
+	reg.Counter("chronopriv_instructions_total").Add(res.Steps)
 	return rt.Report(p.Name), ares, nil
 }
 
@@ -205,7 +224,7 @@ func calibrate(p *Program, build func(pads []int64) *ir.Module) error {
 		pads[i] = minPad
 	}
 	p.Module = build(pads)
-	rep, _, err := measure(p.Module, p)
+	rep, _, err := measure(context.Background(), p.Module, p)
 	if err != nil {
 		return fmt.Errorf("calibration seed run: %w", err)
 	}

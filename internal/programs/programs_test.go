@@ -1,6 +1,7 @@
 package programs
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func TestWorkEmitsExactCounts(t *testing.T) {
 		m := b.MustBuild()
 
 		p := &Program{Name: "t", InitialUID: 0, InitialGID: 0}
-		rep, _, err := measure(m, p)
+		rep, _, err := measure(context.Background(), m, p)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -97,13 +97,13 @@ func EfficacyTable(title string, as []*core.Analysis) string {
 func SearchTimes(a *core.Analysis) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ROSA search cost for %s (Figures 5-11 series)\n", a.Program.Name)
-	fmt.Fprintf(&b, "%-20s %-8s %-8s %12s %14s\n", "Phase", "Attack", "Verdict", "States", "Time")
+	fmt.Fprintf(&b, "%-20s %6s %-8s %12s %14s\n", "Phase", "Attack", "Verdict", "States", "Time")
 	for _, pr := range a.Phases {
 		for i, v := range pr.Verdicts {
 			if v == 0 {
 				continue // attack not run
 			}
-			fmt.Fprintf(&b, "%-20s %-8d %-8s %12d %14s\n",
+			fmt.Fprintf(&b, "%-20s %6d %-8s %12d %14s\n",
 				pr.Spec.Name, i+1, v, pr.States[i],
 				pr.Elapsed[i].Round(time.Microsecond))
 		}
@@ -118,7 +118,7 @@ func SearchTimes(a *core.Analysis) string {
 func SearchStatsTable(a *core.Analysis) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ROSA search statistics for %s\n", a.Program.Name)
-	fmt.Fprintf(&b, "%-20s %-8s %-8s %12s %12s %8s %7s %14s\n",
+	fmt.Fprintf(&b, "%-20s %6s %-8s %12s %12s %8s %7s %14s\n",
 		"Phase", "Attack", "Verdict", "States", "States/sec", "Dedup%", "Depth", "Peak frontier")
 	for _, pr := range a.Phases {
 		for i, v := range pr.Verdicts {
@@ -132,8 +132,9 @@ func SearchStatsTable(a *core.Analysis) string {
 					peak = n
 				}
 			}
-			fmt.Fprintf(&b, "%-20s %-8d %-8s %12d %12.0f %8.1f %7d %14d\n",
-				pr.Spec.Name, i+1, v, st.StatesExplored, st.StatesPerSec(),
+			fmt.Fprintf(&b, "%-20s %6d %-8s %12d %12s %8.1f %7d %14d\n",
+				pr.Spec.Name, i+1, v, st.StatesExplored,
+				rate(st.StatesExplored, st.Elapsed),
 				100*st.DedupRate(), st.Depth, peak)
 		}
 	}

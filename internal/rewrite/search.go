@@ -42,10 +42,16 @@ type Options struct {
 	// synchronized and merged in a fixed order.
 	Workers int
 	// OnStats, if set, receives a progress snapshot after every completed
-	// depth level and once more when the search returns. The snapshot's
-	// maps and slices are reused across calls; callbacks must not retain
-	// or mutate them.
+	// depth level and once more when the search returns. Each snapshot is a
+	// deep copy — callbacks may retain or mutate it freely, from any
+	// goroutine.
 	OnStats func(*SearchStats)
+	// Profile enables the per-rule cost profile: match attempts, firings,
+	// and cumulative/max latency per rule, reported in SearchStats.
+	// RuleProfile. Profiling times every rule-match attempt, which slows
+	// the search measurably — leave it off except when diagnosing rule
+	// cost (the search-engine analogue of a query profiler).
+	Profile bool
 }
 
 // DefaultOptions returns the default search configuration. It is the
@@ -85,6 +91,106 @@ type SearchStats struct {
 	Elapsed time.Duration
 	// Workers is the number of expansion workers used.
 	Workers int
+	// RuleProfile holds the per-rule cost profile; nil unless
+	// Options.Profile was set.
+	RuleProfile map[string]*RuleCost
+}
+
+// RuleCost is one rule's row of the search profile.
+type RuleCost struct {
+	// Attempts counts how many times the rule was tried against a subterm
+	// position (matched or not).
+	Attempts int64
+	// Firings counts replacement terms the rule produced (before the
+	// successor-level and visited-set deduplication, so it can exceed
+	// SearchStats.RuleFirings for the same rule).
+	Firings int64
+	// Cumulative is the total wall-clock time spent matching and applying
+	// the rule; Max is the slowest single attempt.
+	Cumulative, Max time.Duration
+}
+
+// Clone returns a deep copy of the stats: mutating the copy (or the
+// original) never affects the other. Nil-safe.
+func (st *SearchStats) Clone() *SearchStats {
+	if st == nil {
+		return nil
+	}
+	cp := *st
+	cp.Frontier = append([]int(nil), st.Frontier...)
+	if st.RuleFirings != nil {
+		cp.RuleFirings = make(map[string]int, len(st.RuleFirings))
+		for name, n := range st.RuleFirings {
+			cp.RuleFirings[name] = n
+		}
+	}
+	if st.RuleProfile != nil {
+		cp.RuleProfile = make(map[string]*RuleCost, len(st.RuleProfile))
+		for name, rc := range st.RuleProfile {
+			c := *rc
+			cp.RuleProfile[name] = &c
+		}
+	}
+	return &cp
+}
+
+// ruleProfiler aggregates per-rule cost with atomics, so concurrent
+// expansion workers record without locks. Rules are addressed by their index
+// in System.Rules.
+type ruleProfiler struct {
+	names []string
+	cells []profCell
+}
+
+type profCell struct {
+	attempts, firings, cumNS, maxNS atomic.Int64
+}
+
+func newRuleProfiler(rules []Rule) *ruleProfiler {
+	rp := &ruleProfiler{names: make([]string, len(rules)), cells: make([]profCell, len(rules))}
+	for i := range rules {
+		rp.names[i] = rules[i].Name
+	}
+	return rp
+}
+
+// record notes one attempt of rule i that produced n replacements in d.
+func (rp *ruleProfiler) record(i int, d time.Duration, n int) {
+	c := &rp.cells[i]
+	c.attempts.Add(1)
+	c.firings.Add(int64(n))
+	ns := d.Nanoseconds()
+	c.cumNS.Add(ns)
+	for {
+		cur := c.maxNS.Load()
+		if ns <= cur || c.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// profile materializes the per-rule map for SearchStats.
+func (rp *ruleProfiler) profile() map[string]*RuleCost {
+	out := make(map[string]*RuleCost, len(rp.names))
+	for i, name := range rp.names {
+		c := &rp.cells[i]
+		attempts := c.attempts.Load()
+		if attempts == 0 {
+			continue
+		}
+		rc := out[name]
+		if rc == nil {
+			rc = &RuleCost{}
+			out[name] = rc
+		}
+		rc.Attempts += attempts
+		rc.Firings += c.firings.Load()
+		rc.Cumulative += time.Duration(c.cumNS.Load())
+		if m := time.Duration(c.maxNS.Load()); m > rc.Max {
+			rc.Max = m
+		}
+	}
+	return out
 }
 
 // StatesPerSec is the exploration rate.
@@ -176,13 +282,20 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	if opts.DepthFirst {
 		stats.Workers = 1
 	}
+	var rp *ruleProfiler
+	if opts.Profile {
+		rp = newRuleProfiler(s.Rules)
+	}
 	began := time.Now()
 	res := &SearchResult{StatesExplored: 1, Stats: stats}
 	snapshot := func() {
 		stats.StatesExplored = res.StatesExplored
 		stats.Elapsed = time.Since(began)
+		if rp != nil {
+			stats.RuleProfile = rp.profile()
+		}
 		if opts.OnStats != nil {
-			opts.OnStats(stats)
+			opts.OnStats(stats.Clone())
 		}
 	}
 	finish := func() (*SearchResult, error) {
@@ -203,12 +316,12 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	}
 
 	if opts.DepthFirst {
-		if err := s.searchDFS(ctx, start, goal, opts, res, stats); err != nil {
+		if err := s.searchDFS(ctx, start, goal, opts, res, stats, rp); err != nil {
 			return nil, err
 		}
 		return finish()
 	}
-	if err := s.searchBFS(ctx, start, goal, opts, res, stats, snapshot); err != nil {
+	if err := s.searchBFS(ctx, start, goal, opts, res, stats, rp, snapshot); err != nil {
 		return nil, err
 	}
 	return finish()
@@ -235,7 +348,7 @@ type expansion struct {
 //
 // snapshot refreshes the running stats (and fires OnStats) after each
 // completed level.
-func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, snapshot func()) error {
+func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, rp *ruleProfiler, snapshot func()) error {
 	visited := newStateSet()
 	if !opts.NoDedup {
 		visited.add(start)
@@ -270,7 +383,7 @@ func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			// so the merge below can replay them in frontier order.
 			exps := make([]expansion, hi-lo)
 			expand := func(i int) {
-				succs, err := s.Successors(frontier[i].state)
+				succs, err := s.successors(frontier[i].state, rp)
 				if err != nil {
 					exps[i-lo].err = err
 					return
@@ -353,7 +466,7 @@ func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 }
 
 // searchDFS is the sequential LIFO engine (the frontier-order ablation).
-func (s *System) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats) error {
+func (s *System) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, rp *ruleProfiler) error {
 	visited := newStateSet()
 	if !opts.NoDedup {
 		visited.add(start)
@@ -369,7 +482,7 @@ func (s *System) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
 			continue
 		}
-		succs, err := s.Successors(n.state)
+		succs, err := s.successors(n.state, rp)
 		if err != nil {
 			return err
 		}

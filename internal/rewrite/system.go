@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Rule is one rewrite rule (or equation). A rule fires where its LHS matches;
@@ -139,6 +140,14 @@ type Step struct {
 // coalesced by structural equality (hash-interned, like the search's
 // visited set).
 func (s *System) Successors(t *Term) ([]Step, error) {
+	return s.successors(t, nil)
+}
+
+// successors implements Successors, optionally recording per-rule cost into
+// rp (nil disables profiling and costs nothing). Timing is per apply call —
+// one rule tried at one subterm position — so attribution is exact, at the
+// price of two clock reads per attempt when profiling.
+func (s *System) successors(t *Term, rp *ruleProfiler) ([]Step, error) {
 	var steps []Step
 	seen := newStateSet()
 	emit := func(name string, nt *Term) error {
@@ -156,7 +165,15 @@ func (s *System) Successors(t *Term) ([]Step, error) {
 	var walk func(t *Term, rebuild func(*Term) *Term) error
 	walk = func(t *Term, rebuild func(*Term) *Term) error {
 		for i := range s.Rules {
-			for _, rep := range s.Rules[i].apply(t, s.Sig) {
+			var began time.Time
+			if rp != nil {
+				began = time.Now()
+			}
+			reps := s.Rules[i].apply(t, s.Sig)
+			if rp != nil {
+				rp.record(i, time.Since(began), len(reps))
+			}
+			for _, rep := range reps {
 				if err := emit(s.Rules[i].Name, rebuild(rep)); err != nil {
 					return err
 				}

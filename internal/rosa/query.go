@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/telemetry"
 )
 
 // Verdict is ROSA's answer for one (attack, privilege set, credentials)
@@ -36,6 +37,21 @@ func (v Verdict) String() string {
 		return "⏱"
 	default:
 		return "?"
+	}
+}
+
+// metricName renders the verdict as a Prometheus-safe word for the
+// rosa_verdict_* counter family.
+func (v Verdict) metricName() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Vulnerable:
+		return "vulnerable"
+	case Unknown:
+		return "unknown"
+	default:
+		return "invalid"
 	}
 }
 
@@ -144,6 +160,14 @@ func (q *Query) runOn(ctx context.Context, sys *rewrite.System) (*Result, error)
 	default:
 		res.Verdict = Safe
 	}
+	// Per-query metrics. A nil registry (no telemetry on ctx) makes these
+	// no-ops; the search itself never touches the registry.
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("rosa_queries_total").Add(1)
+	reg.Counter("rosa_verdict_" + res.Verdict.metricName() + "_total").Add(1)
+	reg.Counter("rosa_states_explored_total").Add(int64(res.StatesExplored))
+	reg.Histogram("rosa_query_states").Observe(int64(res.StatesExplored))
+	reg.Timer("rosa_query_elapsed_ns").Observe(res.Elapsed)
 	return res, nil
 }
 

@@ -1,0 +1,45 @@
+package telemetry
+
+import "context"
+
+type regKey struct{}
+type spanKey struct{}
+
+// NewContext returns ctx carrying the registry. Every pipeline layer reads
+// it back with FromContext; an absent registry disables telemetry for the
+// whole call tree at the cost of a nil check per stage.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, regKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or nil. A nil registry is
+// a valid no-op sink for every telemetry operation.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(regKey{}).(*Registry)
+	return r
+}
+
+// WithSpan returns ctx carrying s as the current span; StartSpan uses it as
+// the parent of nested spans.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span on ctx's registry, parented under ctx's current
+// span, and returns it together with a derived context in which it is the
+// current span. With no registry on ctx it returns (nil, ctx) — the nil span
+// is safe to End — so call sites instrument unconditionally.
+func StartSpan(ctx context.Context, name string, kv ...string) (*Span, context.Context) {
+	r := FromContext(ctx)
+	if r == nil {
+		return nil, ctx
+	}
+	s := r.StartSpan(name, SpanFromContext(ctx), kv...)
+	return s, WithSpan(ctx, s)
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm renders every metric in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms and
+// timers as summaries with p50/p95/p99 quantiles plus _sum and _count.
+// Metric families are emitted in lexical name order, so output is
+// deterministic. No-op on a nil registry.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.snapshot()
+	for _, name := range sortedKeys(snap.counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.counters[name]); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	for _, name := range sortedKeys(snap.gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.gauges[name]); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	for _, name := range sortedKeys(snap.hists) {
+		h := snap.hists[name]
+		pn := promName(name)
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn,
+			pn, h.Quantile(0.50),
+			pn, h.Quantile(0.95),
+			pn, h.Quantile(0.99),
+			pn, h.Sum(),
+			pn, h.Count())
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	return nil
+}
+
+// promName maps a metric name onto the Prometheus name alphabet
+// [a-zA-Z0-9_:], replacing anything else with '_' and prefixing a '_' when
+// the name would start with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

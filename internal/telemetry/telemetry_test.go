@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	const goroutines, each = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("hits").Add(1)
+				r.Gauge("level").Set(int64(i))
+				r.Histogram("sizes").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != goroutines*each {
+		t.Errorf("counter = %d, want %d", got, goroutines*each)
+	}
+	if got := r.Histogram("sizes").Count(); got != goroutines*each {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 25 || h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("count/sum/min/max = %d/%d/%d/%d, want 5/25/1/9",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 1..1000: quantiles are approximate (log-scale buckets, linear
+	// interpolation within the containing bucket) but must be monotone,
+	// within [Min, Max], and within the true value's power-of-two bucket.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	tests := []struct {
+		q        float64
+		lo, hi   int64 // containing bucket of the true quantile value
+	}{
+		{0.50, 256, 511},  // true p50 = 500
+		{0.95, 512, 1000}, // true p95 = 950
+		{0.99, 512, 1000}, // true p99 = 990
+		{1.00, 512, 1000}, // true max = 1000
+	}
+	prev := int64(0)
+	for _, tc := range tests {
+		got := h.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Quantile(%v) = %d, want within [%d, %d]", tc.q, got, tc.lo, tc.hi)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %d not monotone (prev %d)", tc.q, got, prev)
+		}
+		prev = got
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1", got)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram()
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative observation not clamped: min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if lo, hi := bucketBounds(0); lo != 0 || hi != 0 {
+		t.Errorf("bucket 0 = [%d, %d]", lo, hi)
+	}
+	if lo, hi := bucketBounds(1); lo != 1 || hi != 1 {
+		t.Errorf("bucket 1 = [%d, %d]", lo, hi)
+	}
+	if lo, hi := bucketBounds(10); lo != 512 || hi != 1023 {
+		t.Errorf("bucket 10 = [%d, %d]", lo, hi)
+	}
+	if lo, hi := bucketBounds(64); lo >= hi || hi != math.MaxInt64 {
+		t.Errorf("bucket 64 = [%d, %d], want hi = MaxInt64", lo, hi)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := New()
+	stop := r.Timer("op_ns").Start()
+	time.Sleep(time.Millisecond)
+	stop()
+	h := r.Histogram("op_ns")
+	if h.Count() != 1 {
+		t.Fatalf("timer count = %d, want 1", h.Count())
+	}
+	if h.Sum() < int64(time.Millisecond) {
+		t.Errorf("timer sum = %dns, want >= 1ms", h.Sum())
+	}
+	r.Timer("op_ns").Observe(2 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Errorf("timer count = %d, want 2", h.Count())
+	}
+}
+
+// TestNilRegistry exercises the disabled-telemetry path: every operation on
+// a nil registry, nil metric, and nil span must be a safe no-op.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	r.Timer("t").Observe(time.Second)
+	r.Timer("t").Start()()
+	if r.Counter("c").Value() != 0 || r.Histogram("h").Quantile(0.5) != 0 {
+		t.Error("nil metrics must read zero")
+	}
+	sp := r.StartSpan("s", nil)
+	sp.SetLabel("k", "v")
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Error("nil span must report zero duration")
+	}
+	if err := r.WriteProm(nil); err != nil {
+		t.Error("nil registry WriteProm must be a no-op")
+	}
+	if err := r.WriteJSONL(nil); err != nil {
+		t.Error("nil registry WriteJSONL must be a no-op")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext on bare context = %v, want nil", got)
+	}
+	s, ctx := StartSpan(context.Background(), "x")
+	if s != nil || ctx != context.Background() {
+		t.Error("StartSpan without a registry must return (nil, ctx)")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatal("registry not carried")
+	}
+	root, ctx := StartSpan(ctx, "root", "program", "su")
+	if root == nil {
+		t.Fatal("StartSpan returned nil with a registry attached")
+	}
+	child, _ := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	if child.parent != root.id {
+		t.Errorf("child parent = %d, want %d", child.parent, root.id)
+	}
+	if got := SpanFromContext(ctx); got != root {
+		t.Error("current span not carried")
+	}
+}
