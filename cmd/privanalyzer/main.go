@@ -53,6 +53,9 @@ func run(args []string) (code int) {
 		parallel    = fs.Bool("parallel", false, "additionally fan the independent queries out over the CPUs")
 		experiments = fs.Bool("experiments", false, "run the full evaluation and print the paper-vs-measured summary")
 		benchJSON   = fs.String("bench-json", "", "run the Figure 5-11 query grid and write per-query benchmark records to this file")
+		noIndex     = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
+		noIntern    = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
+		noCache     = fs.Bool("no-cache", false, "disable the cross-query transition cache (ablation)")
 		telemJSON   = fs.String("telemetry-json", "", "write the run's telemetry (spans and metrics) as JSONL to this file")
 		promPath    = fs.String("prom", "", "write the run's metrics in Prometheus text exposition format to this file")
 		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof on this address while the run executes (e.g. "localhost:6060"; off by default)`)
@@ -62,7 +65,10 @@ func run(args []string) (code int) {
 	}
 
 	opts := core.Options{
-		Search:   rewrite.Options{MaxStates: *budget, Workers: *workers, Profile: *stats},
+		Search: rewrite.Options{
+			MaxStates: *budget, Workers: *workers, Profile: *stats,
+			NoIndex: *noIndex, NoIntern: *noIntern, NoCache: *noCache,
+		},
 		Parallel: *parallel,
 	}
 	ctx := context.Background()

@@ -47,6 +47,8 @@ func run(args []string) int {
 		timeout  = fs.Duration("timeout", 0, "wall-clock search limit; an expired deadline yields the ⏱ verdict (0 = none)")
 		workers  = fs.Int("workers", 0, "search workers per depth level (0 = one per CPU, 1 = sequential)")
 		stats    = fs.Bool("stats", false, "print the search statistics (states/sec, frontier shape, dedup rate) and the per-rule cost profile")
+		noIndex  = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
+		noIntern = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
 		example  = fs.Bool("example", false, "run the paper's worked example (Figures 2-4) instead")
 		query    = fs.String("query", "", "run a query file (rosa.ParseQuery format) instead")
 		maude    = fs.Bool("maude", false, "also print the query in the paper's Maude syntax")
@@ -57,7 +59,7 @@ func run(args []string) int {
 		return 2
 	}
 
-	rep := reporter{timeout: *timeout, workers: *workers, stats: *stats}
+	rep := reporter{timeout: *timeout, workers: *workers, stats: *stats, noIndex: *noIndex, noIntern: *noIntern}
 
 	if *module {
 		fmt.Print(rosa.MaudeModule())
@@ -171,9 +173,11 @@ func simulateQuery(q *rosa.Query) int {
 
 // reporter carries the search-tuning flags shared by every query mode.
 type reporter struct {
-	timeout time.Duration
-	workers int
-	stats   bool
+	timeout  time.Duration
+	workers  int
+	stats    bool
+	noIndex  bool
+	noIntern bool
 }
 
 func (r reporter) report(what string, q *rosa.Query) int {
@@ -183,6 +187,8 @@ func (r reporter) report(what string, q *rosa.Query) int {
 		q.Workers = r.workers
 	}
 	q.Profile = r.stats
+	q.NoIndex = r.noIndex
+	q.NoIntern = r.noIntern
 	ctx := context.Background()
 	if r.timeout > 0 {
 		var cancel context.CancelFunc

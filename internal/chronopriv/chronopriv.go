@@ -109,6 +109,13 @@ func (r *Runtime) OnStep(_ *ir.Function, _ *ir.Block, _ ir.Instr, ph caps.PhaseK
 	r.add(ph, 1)
 }
 
+// OnSteps is the batched counterpart of OnStep (interp.Options.OnSteps):
+// the interpreter reports each run of instructions executed under one phase
+// as a single count. Per-phase totals are identical to per-step counting.
+func (r *Runtime) OnSteps(n int64, ph caps.PhaseKey) {
+	r.add(ph, n)
+}
+
 // Intercept claims MarkerSyscall instructions, attributing each block's
 // counted size to the phase at block entry. All other syscalls pass through.
 func (r *Runtime) Intercept(name string, args []vkernel.Arg) (bool, int64, error) {

@@ -161,7 +161,11 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 
 	// Run them — sequentially, or fanned out over the CPUs. Each worker
 	// writes only its own job's slots, so no locking is needed beyond the
-	// error slot.
+	// error slot. All jobs share one rosa.Checker, so the transition graph
+	// a query expands is reused by every later (phase, attack) query over
+	// the same program — repeated phases with identical credentials and
+	// privileges hit the cache almost entirely.
+	checker := rosa.NewChecker()
 	results := make([]*rosa.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
@@ -170,7 +174,7 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 			"program", p.Name,
 			"phase", a.Phases[j.phase].Spec.Name,
 			"attack", strconv.Itoa(int(j.attack)))
-		results[i], errs[i] = j.query.RunContext(qctx)
+		results[i], errs[i] = checker.Run(qctx, j.query)
 		if results[i] != nil {
 			sp.SetLabel("verdict", results[i].Verdict.String())
 		}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"privanalyzer/internal/attacks"
+	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/rosa"
+)
+
+// naiveSearch returns base with every successor-engine optimization turned
+// off: no rule index, no interning, and (since caching requires interned
+// keys) no transition cache.
+func naiveSearch(base rewrite.Options) rewrite.Options {
+	base.NoIndex = true
+	base.NoIntern = true
+	base.NoCache = true
+	return base
+}
+
+// TestDifferentialGrid is the pipeline-level optimization contract: the
+// indexed, interned, transition-cached engine must produce byte-identical
+// analyses to the naive walk across every program, phase, and attack of the
+// Figure 5-11 grid, at Workers 1 and 4. The comparison goes through
+// AnalyzeContext, so it exercises the full stack the CLIs use — including
+// the per-program rosa.Checker whose shared cache serves all of a program's
+// queries.
+func TestDifferentialGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid differential test; skipped with -short")
+	}
+	ctx := context.Background()
+	for _, name := range programs.Names() {
+		p, err := programs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			fast, err := AnalyzeContext(ctx, p, Options{Search: rewrite.Options{Workers: w}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := AnalyzeContext(ctx, p, Options{Search: naiveSearch(rewrite.Options{Workers: w})})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fast.Phases) != len(naive.Phases) {
+				t.Fatalf("%s workers=%d: phase counts differ", name, w)
+			}
+			for pi := range fast.Phases {
+				fp, np := &fast.Phases[pi], &naive.Phases[pi]
+				for ai := range fp.Verdicts {
+					if fp.Verdicts[ai] != np.Verdicts[ai] || fp.States[ai] != np.States[ai] {
+						t.Errorf("%s %s attack%d workers=%d: fast (%s, %d states) vs naive (%s, %d states)",
+							name, fp.Spec.Name, ai+1, w,
+							fp.Verdicts[ai], fp.States[ai], np.Verdicts[ai], np.States[ai])
+					}
+					fs, ns := fp.Stats[ai], np.Stats[ai]
+					if (fs == nil) != (ns == nil) {
+						t.Errorf("%s %s attack%d workers=%d: stats presence differs", name, fp.Spec.Name, ai+1, w)
+						continue
+					}
+					if fs == nil {
+						continue
+					}
+					if fmt.Sprint(fs.Frontier) != fmt.Sprint(ns.Frontier) ||
+						fmt.Sprint(fs.RuleFirings) != fmt.Sprint(ns.RuleFirings) ||
+						fs.DedupHits != ns.DedupHits {
+						t.Errorf("%s %s attack%d workers=%d: search stats diverge (frontier %v vs %v)",
+							name, fp.Spec.Name, ai+1, w, fs.Frontier, ns.Frontier)
+					}
+					// The naive walk must not report optimization activity.
+					if ns.RulesSkippedByIndex != 0 || ns.CacheHits+ns.CacheMisses != 0 {
+						t.Errorf("%s %s attack%d workers=%d: naive run reports index/cache activity",
+							name, fp.Spec.Name, ai+1, w)
+					}
+				}
+			}
+			if fmt.Sprint(fast.VulnerableShare) != fmt.Sprint(naive.VulnerableShare) {
+				t.Errorf("%s workers=%d: vulnerable shares diverge", name, w)
+			}
+		}
+	}
+}
+
+// TestDifferentialWitnesses pins the witnesses themselves: for every query
+// of the grid, the fast engine's attack witness must render byte-identically
+// to the naive engine's. Queries are built exactly as AnalyzeContext builds
+// them, from each phase's credential and privilege spec.
+func TestDifferentialWitnesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid differential test; skipped with -short")
+	}
+	ctx := context.Background()
+	for _, name := range programs.Names() {
+		p, err := programs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inventory := p.Syscalls()
+		for _, spec := range p.Phases {
+			k := spec.Key()
+			creds := rosa.Creds{
+				RUID: k.RUID, EUID: k.EUID, SUID: k.SUID,
+				RGID: k.RGID, EGID: k.EGID, SGID: k.SGID,
+			}
+			for _, id := range attacks.All {
+				run := func(opts rewrite.Options) *rosa.Result {
+					t.Helper()
+					q := attacks.Build(id, inventory, creds, k.Permitted)
+					opts.MaxStates = DefaultMaxStates
+					opts.Workers = 1
+					q.Options = opts
+					res, err := q.RunContext(ctx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				fast := run(rewrite.Options{})
+				naive := run(naiveSearch(rewrite.Options{}))
+				if fast.Verdict != naive.Verdict || fast.StatesExplored != naive.StatesExplored {
+					t.Errorf("%s %s %s: fast (%s, %d states) vs naive (%s, %d states)",
+						name, spec.Name, id, fast.Verdict, fast.StatesExplored,
+						naive.Verdict, naive.StatesExplored)
+				}
+				if rewrite.FormatWitness(fast.Witness) != rewrite.FormatWitness(naive.Witness) {
+					t.Errorf("%s %s %s: witnesses differ:\nfast:\n%s\nnaive:\n%s",
+						name, spec.Name, id,
+						rewrite.FormatWitness(fast.Witness), rewrite.FormatWitness(naive.Witness))
+				}
+			}
+		}
+	}
+}

@@ -196,7 +196,7 @@ func measure(ctx context.Context, m *ir.Module, p *Program) (*chronopriv.Report,
 	sp, _ = telemetry.StartSpan(ctx, "chronopriv", "program", p.Name)
 	res, err := interp.Run(ares.Module, k, interp.Options{
 		MainArgs: p.MainArgs,
-		OnStep:   rt.OnStep,
+		OnSteps:  rt.OnSteps,
 	})
 	sp.End()
 	if err != nil {

@@ -118,8 +118,8 @@ func SearchTimes(a *core.Analysis) string {
 func SearchStatsTable(a *core.Analysis) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ROSA search statistics for %s\n", a.Program.Name)
-	fmt.Fprintf(&b, "%-20s %6s %-8s %12s %12s %8s %7s %14s\n",
-		"Phase", "Attack", "Verdict", "States", "States/sec", "Dedup%", "Depth", "Peak frontier")
+	fmt.Fprintf(&b, "%-20s %6s %-8s %12s %12s %8s %7s %14s %7s\n",
+		"Phase", "Attack", "Verdict", "States", "States/sec", "Dedup%", "Depth", "Peak frontier", "Cache%")
 	for _, pr := range a.Phases {
 		for i, v := range pr.Verdicts {
 			if v == 0 || pr.Stats[i] == nil {
@@ -132,10 +132,14 @@ func SearchStatsTable(a *core.Analysis) string {
 					peak = n
 				}
 			}
-			fmt.Fprintf(&b, "%-20s %6d %-8s %12d %12s %8.1f %7d %14d\n",
+			cache := "-"
+			if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+				cache = fmt.Sprintf("%.1f", 100*float64(st.CacheHits)/float64(lookups))
+			}
+			fmt.Fprintf(&b, "%-20s %6d %-8s %12d %12s %8.1f %7d %14d %7s\n",
 				pr.Spec.Name, i+1, v, st.StatesExplored,
 				rate(st.StatesExplored, st.Elapsed),
-				100*st.DedupRate(), st.Depth, peak)
+				100*st.DedupRate(), st.Depth, peak, cache)
 		}
 	}
 	return b.String()

@@ -38,6 +38,17 @@ func SearchStatsText(st *rewrite.SearchStats) string {
 		st.Elapsed.Round(time.Microsecond), st.Workers)
 	fmt.Fprintf(&b, "dedup hits:       %d (%.1f%% of generated successors)\n",
 		st.DedupHits, 100*st.DedupRate())
+	if st.RulesSkippedByIndex > 0 || st.SubtreesPruned > 0 {
+		fmt.Fprintf(&b, "rule index:       %d attempts skipped, %d subtrees pruned\n",
+			st.RulesSkippedByIndex, st.SubtreesPruned)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		fmt.Fprintf(&b, "transition cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			st.CacheHits, st.CacheMisses, 100*float64(st.CacheHits)/float64(lookups))
+	}
+	if st.InternerSize > 0 {
+		fmt.Fprintf(&b, "interner:         %d terms\n", st.InternerSize)
+	}
 	if len(st.Frontier) > 0 {
 		b.WriteString("frontier by depth:")
 		for d, n := range st.Frontier {

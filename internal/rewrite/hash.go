@@ -102,6 +102,9 @@ func structEqual(a, b *Term) bool {
 	if a == nil || b == nil {
 		return false
 	}
+	if a.interned.Load() && b.interned.Load() {
+		return false // hash-consed: equal terms share one pointer
+	}
 	if a.Kind != b.Kind {
 		return false
 	}

@@ -96,3 +96,34 @@ func TestHashMemoStable(t *testing.T) {
 		t.Errorf("hash changed after String(): %x -> %x", h1, h2)
 	}
 }
+
+// TestHashZeroSentinel: a term whose computed hash is exactly 0 must be
+// remapped to a nonzero value, because 0 is the "not yet computed" memo
+// sentinel — without the remap every Hash() call would recompute, and the
+// interner's shard selection would disagree with the memoized value under
+// concurrency. NewInt(int64(tagInt)) is such a term: its pre-mix value is
+// uint64(v)^tagInt == 0 and mix64(0) == 0.
+func TestHashZeroSentinel(t *testing.T) {
+	if mix64(0) != 0 {
+		t.Skip("mix64(0) != 0; the adversarial input no longer maps to the sentinel")
+	}
+	tag := tagInt // non-constant so the uint64 -> int64 conversion wraps
+	z := NewInt(int64(tag))
+	h := z.Hash()
+	if h == 0 {
+		t.Fatal("Hash() returned the 0 sentinel")
+	}
+	if h != 1 {
+		t.Fatalf("zero-colliding hash remapped to %d, want 1", h)
+	}
+	if z.Hash() != h {
+		t.Fatal("remapped hash not memoized stably")
+	}
+	// The remap must not break equality or interning for such terms.
+	if !z.Equal(NewInt(int64(tag))) {
+		t.Fatal("zero-colliding terms unequal")
+	}
+	if Intern(NewInt(int64(tag))) != Intern(NewInt(int64(tag))) {
+		t.Fatal("zero-colliding terms interned to distinct pointers")
+	}
+}

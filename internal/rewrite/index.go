@@ -1,0 +1,208 @@
+package rewrite
+
+// Rule indexing. The naive successor walk tries every rule at every subterm
+// position; in ROSA every rule's LHS is Config-rooted, so all of that work
+// below the root configuration is wasted, and at the root most rules fail
+// because the message they consume is no longer in the state. The index
+// removes both costs with static structure computed once per System:
+//
+//   - rules are bucketed by the kind and top constructor symbol of their
+//     LHS, so a subterm position only attempts the rules whose root can
+//     possibly match there;
+//   - Config-rooted rules carry an anchor bitmask — the symbols of the
+//     non-variable top-level elements their pattern requires (the message
+//     symbol, Process, File, …) — and a state's element bitmap makes the
+//     "are all anchors present?" filter a single AND+compare;
+//   - every term memoizes a subtree symbol bitmap, so the walk prunes whole
+//     subtrees in which no rule could match at any position.
+//
+// Symbol bits come from a process-global registry so term bitmaps are
+// system-independent and memoizable on the term itself. The registry caps
+// out at 61 distinct symbols; later symbols share an overflow bit, which
+// only weakens the filter (a shared bit can report a symbol present that is
+// not), never its soundness — the filter may admit a rule that then fails
+// to match, but never skips a rule that could have matched.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Reserved bits of the per-term bitmap.
+const (
+	bitsComputed = uint64(1) << 63 // memo marker: bitmap has been computed
+	bitOverflow  = uint64(1) << 62 // shared bit for symbols past capacity
+	bitConfig    = uint64(1) << 61 // a Config node occurs in the subtree
+	maxSymBits   = 61
+)
+
+var (
+	symBitMu  sync.RWMutex
+	symBitTab = make(map[string]uint64)
+)
+
+// symbolBit returns the bit assigned to a constructor symbol, assigning the
+// next free bit on first sight and the shared overflow bit once the table
+// is full.
+func symbolBit(sym string) uint64 {
+	symBitMu.RLock()
+	b, ok := symBitTab[sym]
+	symBitMu.RUnlock()
+	if ok {
+		return b
+	}
+	symBitMu.Lock()
+	defer symBitMu.Unlock()
+	if b, ok = symBitTab[sym]; ok {
+		return b
+	}
+	if len(symBitTab) >= maxSymBits {
+		b = bitOverflow
+	} else {
+		b = uint64(1) << len(symBitTab)
+	}
+	symBitTab[sym] = b
+	return b
+}
+
+// subtreeBits returns the memoized bitmap of constructor symbols occurring
+// anywhere in t, plus bitConfig if the subtree contains a configuration.
+// Variables contribute the overflow bit so a pattern subtree never looks
+// empty; ground states contain no variables.
+func (t *Term) subtreeBits() uint64 {
+	if b := t.bits.Load(); b != 0 {
+		return b &^ bitsComputed
+	}
+	var b uint64
+	switch t.Kind {
+	case Op:
+		b = symbolBit(t.Sym)
+	case Config:
+		b = bitConfig
+	case Var:
+		b = bitOverflow
+	}
+	for _, a := range t.Args {
+		b |= a.subtreeBits()
+	}
+	t.bits.Store(b | bitsComputed)
+	return b
+}
+
+// elemBits returns the bitmap of top-level element symbols of a
+// configuration — the state-side half of the anchor filter. Not memoized:
+// it is one cheap pass per expanded position, and only Config nodes pay it.
+func elemBits(t *Term) uint64 {
+	var b uint64
+	for _, a := range t.Args {
+		if a.Kind == Op {
+			b |= symbolBit(a.Sym)
+		}
+	}
+	return b
+}
+
+// indexedRule is one rule's slot in a position bucket.
+type indexedRule struct {
+	idx     int    // index into System.Rules (buckets stay in rule order)
+	anchors uint64 // required element symbols (Config-rooted rules only)
+}
+
+// ruleIndex is the static per-System successor index.
+type ruleIndex struct {
+	// atConfig lists the rules applicable at a Config position
+	// (Config-rooted and variable-rooted LHS), ascending by rule index.
+	atConfig []indexedRule
+	// atOp lists, per LHS root symbol, the rules applicable at an Op
+	// position with that symbol (merged with the variable-rooted rules,
+	// ascending). Symbols with no Op-rooted rules fall back to atAny.
+	atOp map[string][]indexedRule
+	// atAny lists the rules applicable at any position (variable-rooted
+	// LHS), plus the Int/Str-rooted rules: together, the rules a leaf or an
+	// unindexed Op position must still attempt.
+	atAny []indexedRule
+	// needMask is the subtree-bitmap mask deciding whether any rule could
+	// match somewhere inside a subtree; a walk skips subtrees whose bitmap
+	// misses it entirely. allPositions disables pruning (some rule matches
+	// at arbitrary positions).
+	needMask     uint64
+	allPositions bool
+}
+
+// buildRuleIndex computes the index for a rule set. Bucket order preserves
+// rule order, so the indexed walk emits successors in exactly the naive
+// walk's order.
+func buildRuleIndex(rules []Rule) *ruleIndex {
+	ix := &ruleIndex{atOp: make(map[string][]indexedRule)}
+	var varRooted []indexedRule
+	for i := range rules {
+		lhs := rules[i].LHS
+		if lhs == nil {
+			continue
+		}
+		switch lhs.Kind {
+		case Config:
+			var anchors uint64
+			for _, e := range lhs.Args {
+				if e.Kind == Op {
+					anchors |= symbolBit(e.Sym)
+				}
+			}
+			ix.atConfig = append(ix.atConfig, indexedRule{idx: i, anchors: anchors})
+			ix.needMask |= bitConfig
+		case Op:
+			ix.atOp[lhs.Sym] = append(ix.atOp[lhs.Sym], indexedRule{idx: i})
+			ix.needMask |= symbolBit(lhs.Sym)
+		case Var:
+			varRooted = append(varRooted, indexedRule{idx: i})
+			ix.allPositions = true
+		default: // Int- or Str-rooted patterns match only at leaves
+			ix.atAny = append(ix.atAny, indexedRule{idx: i})
+			ix.allPositions = true
+		}
+	}
+	if len(varRooted) > 0 {
+		// Variable-rooted rules apply everywhere: merge them into every
+		// bucket, keeping ascending rule order.
+		ix.atConfig = mergeIndexed(ix.atConfig, varRooted)
+		for sym, rs := range ix.atOp {
+			ix.atOp[sym] = mergeIndexed(rs, varRooted)
+		}
+		ix.atAny = mergeIndexed(ix.atAny, varRooted)
+	}
+	return ix
+}
+
+// mergeIndexed merges two ascending indexedRule slices, ascending.
+func mergeIndexed(a, b []indexedRule) []indexedRule {
+	out := make([]indexedRule, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	return out
+}
+
+// at returns the rules to attempt at position t: the bucket for t's kind
+// and symbol, anchor-filtered for configurations. skipped receives the
+// number of rule attempts the index avoided at this position.
+func (ix *ruleIndex) at(t *Term, total int, buf []indexedRule) (tried []indexedRule, skipped int) {
+	switch t.Kind {
+	case Config:
+		eb := elemBits(t)
+		tried = buf[:0]
+		for _, ir := range ix.atConfig {
+			if ir.anchors&^eb != 0 {
+				continue // a required element symbol is absent
+			}
+			tried = append(tried, ir)
+		}
+		return tried, total - len(tried)
+	case Op:
+		if rs, ok := ix.atOp[t.Sym]; ok {
+			return rs, total - len(rs)
+		}
+		return ix.atAny, total - len(ix.atAny)
+	default:
+		return ix.atAny, total - len(ix.atAny)
+	}
+}

@@ -1,0 +1,178 @@
+package rewrite
+
+// Term interning (hash-consing). Intern maps every structural-equivalence
+// class of terms — equality modulo configuration element order, the same
+// relation structEqual and the canonical String rendering induce — to one
+// canonical *Term. Interned terms make the engine's hottest comparisons
+// pointer-sized: Equal between two interned terms is a pointer compare, the
+// search's visited set and the cross-query transition cache key on the
+// canonical pointer directly, and shared subterms (ROSA's Process/File
+// objects and unconsumed messages recur across millions of states) are
+// stored once with their hash and rendering memos warm.
+//
+// The interner is process-global so that pointer identity is meaningful
+// across systems and queries — exactly what lets a per-program transition
+// cache be shared by every attack query. It is sharded by hash to stay off
+// the contended path under the level-parallel search, and collision-checked:
+// a bucket holds every distinct term with that hash, membership is confirmed
+// with structEqual, so a 64-bit collision costs one comparison, never a
+// merged state.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// internShards is the shard count; a power of two so the hash folds with a
+// mask. 64 shards keep lock contention negligible at the engine's worker
+// counts.
+const internShards = 64
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*Term
+}
+
+var (
+	interner     [internShards]internShard
+	internedSize atomic.Int64
+)
+
+// Intern returns the canonical representative of t's structural-equivalence
+// class, interning t (and, recursively, its subterms) if the class is new.
+// Two terms are mapped to the same pointer exactly when they are Equal —
+// including configurations whose elements are permutations of each other.
+//
+// Canonical representatives store configuration elements in the canonical
+// engine order (see sortConfigArgs). This matters for determinism, not just
+// tidiness: AC matching enumerates a configuration's elements in storage
+// order, so the order of a state's successors depends on its element order.
+// Sorting makes the representative — and therefore every successor
+// enumeration over it — a pure function of the element multiset, independent
+// of which structurally-equal copy reached the interner first under
+// concurrent searches.
+//
+// Interned terms must never be mutated; the engine already treats all terms
+// as immutable. Safe for concurrent use. Nil is returned unchanged.
+func Intern(t *Term) *Term {
+	if t == nil {
+		return nil
+	}
+	if t.interned.Load() {
+		return t
+	}
+	// Hash-cons bottom-up: canonicalize the arguments first so that the
+	// bucket's structEqual confirmation hits pointer equality on shared
+	// subtrees and the stored term shares every subterm with its peers.
+	nt := t
+	if len(t.Args) > 0 {
+		changed := false
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Intern(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if t.Kind == Config && len(args) > 1 {
+			sortConfigArgs(args)
+			for i := range args {
+				if args[i] != t.Args[i] {
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			// Rebuild without NewConfig: t's elements are already flat.
+			nt = &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort,
+				IntVal: t.IntVal, StrVal: t.StrVal, Args: args}
+		}
+	}
+	h := nt.Hash()
+	s := &interner[h&(internShards-1)]
+	s.mu.Lock()
+	for _, u := range s.m[h] {
+		if structEqual(nt, u) {
+			s.mu.Unlock()
+			return u
+		}
+	}
+	nt.interned.Store(true)
+	if s.m == nil {
+		s.m = make(map[uint64][]*Term)
+	}
+	s.m[h] = append(s.m[h], nt)
+	s.mu.Unlock()
+	internedSize.Add(1)
+	return nt
+}
+
+// InternerSize returns the number of canonical terms currently interned —
+// the interner occupancy the telemetry layer exposes.
+func InternerSize() int64 { return internedSize.Load() }
+
+// sortConfigArgs sorts configuration elements into the canonical engine
+// order: ascending structural hash, with hash ties broken by the canonical
+// rendering. The order is a pure function of the element multiset (hash and
+// rendering are both structural), so any two Equal configurations sort
+// identically — the property the engine's determinism contract rests on.
+// Structurally equal elements compare as ties and keep their relative order;
+// they are interchangeable for matching, so this cannot affect results.
+// Insertion sort: the configurations this engine sees are small.
+func sortConfigArgs(args []*Term) {
+	for i := 1; i < len(args); i++ {
+		for j := i; j > 0 && canonLess(args[j], args[j-1]); j-- {
+			args[j], args[j-1] = args[j-1], args[j]
+		}
+	}
+}
+
+// canonLess is the strict order behind sortConfigArgs. The rendering
+// tie-break only runs on 64-bit hash collisions, so the common path is one
+// memoized-hash compare.
+func canonLess(a, b *Term) bool {
+	ha, hb := a.Hash(), b.Hash()
+	if ha != hb {
+		return ha < hb
+	}
+	if a == b {
+		return false
+	}
+	return a.String() < b.String()
+}
+
+// canonOrder rewrites t so every configuration's elements are in the
+// canonical engine order, without interning anything — the uninterned
+// (NoIntern) engine's counterpart of Intern's sorting. Both engines hand the
+// matcher states with identical element order, so successor enumeration —
+// and with it every search verdict, witness, and state count — is
+// byte-identical across the toggles. Returns t itself when already
+// canonical.
+func canonOrder(t *Term) *Term {
+	if t == nil || len(t.Args) == 0 {
+		return t
+	}
+	changed := false
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = canonOrder(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if t.Kind == Config && len(args) > 1 {
+		sortConfigArgs(args)
+		for i := range args {
+			if args[i] != t.Args[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return t
+	}
+	return &Term{Kind: t.Kind, Sym: t.Sym, Sort: t.Sort,
+		IntVal: t.IntVal, StrVal: t.StrVal, Args: args}
+}

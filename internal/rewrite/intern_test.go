@@ -1,0 +1,249 @@
+package rewrite
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternCanonicalizes(t *testing.T) {
+	mk := func() *Term {
+		return NewConfig(
+			NewOp("Process", NewInt(1), NewInt(0), NewStr("a")),
+			NewOp("File", NewInt(2)),
+		)
+	}
+	a, b := Intern(mk()), Intern(mk())
+	if a != b {
+		t.Fatal("structurally equal terms interned to distinct pointers")
+	}
+	if !a.Equal(b) {
+		t.Fatal("interned term not Equal to itself")
+	}
+	// AC invariance: permuting configuration elements must intern to the
+	// same canonical term.
+	perm := Intern(NewConfig(
+		NewOp("File", NewInt(2)),
+		NewOp("Process", NewInt(1), NewInt(0), NewStr("a")),
+	))
+	if perm != a {
+		t.Fatal("permuted configuration interned to a distinct pointer")
+	}
+	// Distinct terms must stay distinct, and interned inequality must be a
+	// pointer compare.
+	c := Intern(NewOp("File", NewInt(3)))
+	if c == a || c.Equal(a) {
+		t.Fatal("distinct terms merged by the interner")
+	}
+	// Interning is idempotent and does not allocate a new canonical copy.
+	if Intern(a) != a {
+		t.Fatal("re-interning the canonical term returned a different pointer")
+	}
+}
+
+func TestInternSubtermsShared(t *testing.T) {
+	a := Intern(NewOp("pair", NewOp("x", NewInt(1)), NewOp("y", NewInt(2))))
+	b := Intern(NewOp("other", NewOp("x", NewInt(1))))
+	if a.Args[0] != b.Args[0] {
+		t.Fatal("equal subterms of distinct interned terms are not shared")
+	}
+}
+
+// TestInternHashCollision forces two distinct terms into the same interner
+// bucket by pre-seeding identical memoized hashes; the structural check must
+// keep them apart.
+func TestInternHashCollision(t *testing.T) {
+	a := NewOp("collide", NewInt(1))
+	b := NewOp("collide", NewInt(2))
+	a.hash.Store(42)
+	b.hash.Store(42)
+	ia, ib := Intern(a), Intern(b)
+	if ia == ib {
+		t.Fatal("hash-colliding distinct terms merged by the interner")
+	}
+	if !ia.Equal(Intern(NewOpWithHash("collide", 42, 1))) {
+		t.Fatal("collided term lost its identity")
+	}
+}
+
+// NewOpWithHash builds an Op with a pre-seeded memoized hash (test helper
+// for collision scenarios).
+func NewOpWithHash(sym string, h uint64, arg int64) *Term {
+	t := NewOp(sym, NewInt(arg))
+	t.hash.Store(h)
+	return t
+}
+
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 16
+	out := make([]*Term, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out[g] = Intern(NewConfig(
+				NewOp("worker", NewInt(7)),
+				NewOp("shared", NewStr("state")),
+			))
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if out[g] != out[0] {
+			t.Fatalf("goroutine %d interned a distinct pointer", g)
+		}
+	}
+}
+
+func TestInternerSizeGrows(t *testing.T) {
+	before := InternerSize()
+	Intern(NewOp("intern-size-probe", NewInt(before)))
+	if InternerSize() <= before {
+		t.Fatalf("InternerSize did not grow past %d after interning a fresh term", before)
+	}
+}
+
+// TestToggleEquivalence is the optimization contract: disabling any
+// combination of index, interning, and cache yields byte-identical search
+// results — verdict, witness, state count, dedup hits, frontier shape, and
+// rule firings.
+func TestToggleEquivalence(t *testing.T) {
+	toggles := []struct {
+		name string
+		set  func(*Options)
+	}{
+		{"no-index", func(o *Options) { o.NoIndex = true }},
+		{"no-intern", func(o *Options) { o.NoIntern = true }},
+		{"naive", func(o *Options) { o.NoIndex, o.NoIntern, o.NoCache = true, true, true }},
+	}
+	for _, tc := range equivCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range []int{1, 4} {
+				opts := tc.opts
+				opts.Workers = w
+				ref, err := tc.sys.SearchContext(context.Background(), tc.init, tc.goal, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tg := range toggles {
+					opts := tc.opts
+					opts.Workers = w
+					tg.set(&opts)
+					got, err := tc.sys.SearchContext(context.Background(), tc.init, tc.goal, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Found != ref.Found || got.Truncated != ref.Truncated ||
+						got.StatesExplored != ref.StatesExplored {
+						t.Errorf("%s workers=%d: (found=%v truncated=%v states=%d), want (%v %v %d)",
+							tg.name, w, got.Found, got.Truncated, got.StatesExplored,
+							ref.Found, ref.Truncated, ref.StatesExplored)
+					}
+					if FormatWitness(got.Witness) != FormatWitness(ref.Witness) {
+						t.Errorf("%s workers=%d: witness differs:\n%s\nwant:\n%s",
+							tg.name, w, FormatWitness(got.Witness), FormatWitness(ref.Witness))
+					}
+					if got.Stats.DedupHits != ref.Stats.DedupHits ||
+						fmt.Sprint(got.Stats.Frontier) != fmt.Sprint(ref.Stats.Frontier) ||
+						fmt.Sprint(got.Stats.RuleFirings) != fmt.Sprint(ref.Stats.RuleFirings) {
+						t.Errorf("%s workers=%d: stats diverge", tg.name, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSuccessorsOptsByteIdentical pins the successor sets themselves: the
+// indexed, interned walk must emit the same successors, in the same order,
+// with the same renderings as the naive walk.
+func TestSuccessorsOptsByteIdentical(t *testing.T) {
+	for _, tc := range equivCases() {
+		fast, err := tc.sys.SuccessorsOpts(tc.init, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := tc.sys.SuccessorsOpts(tc.init, Options{NoIndex: true, NoIntern: true, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(naive) {
+			t.Fatalf("%s: %d successors indexed, %d naive", tc.name, len(fast), len(naive))
+		}
+		for i := range fast {
+			if fast[i].Rule != naive[i].Rule || fast[i].Result.String() != naive[i].Result.String() {
+				t.Errorf("%s: successor %d: (%s, %s) vs naive (%s, %s)",
+					tc.name, i, fast[i].Rule, fast[i].Result, naive[i].Rule, naive[i].Result)
+			}
+		}
+	}
+}
+
+// TestTransitionCacheSharedAcrossSearches attaches a cache to a System and
+// checks that a second search over the same space is answered from it with
+// identical results.
+func TestTransitionCacheSharedAcrossSearches(t *testing.T) {
+	sys := tokens(4)
+	sys.Cache = NewTransitionCache()
+	init := NewConfig(NewOp("c", NewInt(0)), NewOp("c", NewInt(0)))
+	goal := Goal{Pattern: NewOp("nope")}
+
+	first, err := sys.SearchContext(context.Background(), init, goal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CacheHits != 0 {
+		t.Errorf("first search had %d cache hits; dedup should make every state a miss", first.Stats.CacheHits)
+	}
+	if first.Stats.CacheMisses == 0 {
+		t.Error("first search recorded no cache misses with a cache attached")
+	}
+	if sys.Cache.Len() == 0 {
+		t.Error("cache empty after a full search")
+	}
+
+	second, err := sys.SearchContext(context.Background(), init, goal, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.CacheHits == 0 {
+		t.Error("second search over the same space hit the cache zero times")
+	}
+	if second.Stats.CacheMisses != 0 {
+		t.Errorf("second search missed %d times; the whole graph was cached", second.Stats.CacheMisses)
+	}
+	if second.StatesExplored != first.StatesExplored ||
+		fmt.Sprint(second.Stats.Frontier) != fmt.Sprint(first.Stats.Frontier) {
+		t.Error("cached search explored a different space")
+	}
+	// NoCache must bypass the attached cache entirely.
+	third, err := sys.SearchContext(context.Background(), init, goal, Options{Workers: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Stats.CacheHits != 0 || third.Stats.CacheMisses != 0 {
+		t.Error("NoCache search still touched the cache")
+	}
+	if third.StatesExplored != first.StatesExplored {
+		t.Error("NoCache search explored a different space")
+	}
+}
+
+// TestRulesSkippedByIndex checks the index actually skips work on a system
+// whose rules anchor on symbols absent from most states.
+func TestRulesSkippedByIndex(t *testing.T) {
+	sys := vending()
+	init := NewConfig(NewOp("$"), NewOp("q"), NewOp("q"), NewOp("q"))
+	res, err := sys.SearchContext(context.Background(), init, Goal{Pattern: NewOp("nope")}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RulesSkippedByIndex == 0 && res.Stats.SubtreesPruned == 0 {
+		t.Error("index reported no skipped rules and no pruned subtrees on the vending system")
+	}
+	if res.Stats.InternerSize == 0 {
+		t.Error("InternerSize gauge not populated")
+	}
+}

@@ -32,9 +32,11 @@ func TestRuleProfile(t *testing.T) {
 		if rc == nil {
 			t.Fatalf("rule %q missing from profile %v", name, st.RuleProfile)
 		}
-		// Matching walks every subterm position of every expanded state and
-		// tries every rule at each, so the per-rule attempt counts agree and
-		// at least one attempt happens per state.
+		// Both rules are Config-rooted and anchored on the same "c" symbol,
+		// so the index sends them to exactly the same positions: the per-rule
+		// attempt counts agree, with at least one attempt per expanded state.
+		// One AC attempt can produce several replacements (the pattern matches
+		// the multiset several ways), so firings may exceed attempts.
 		if rc.Attempts != st.RuleProfile["inc"].Attempts {
 			t.Errorf("%s.Attempts = %d, want %d (rules attempt the same positions)",
 				name, rc.Attempts, st.RuleProfile["inc"].Attempts)
@@ -42,8 +44,8 @@ func TestRuleProfile(t *testing.T) {
 		if rc.Attempts < int64(st.StatesExplored) {
 			t.Errorf("%s.Attempts = %d < %d states explored", name, rc.Attempts, st.StatesExplored)
 		}
-		if rc.Firings > rc.Attempts {
-			t.Errorf("%s fired %d times in %d attempts", name, rc.Firings, rc.Attempts)
+		if rc.Firings == 0 {
+			t.Errorf("%s recorded no firings", name)
 		}
 		// Profile firings count raw replacements before successor dedup, so
 		// they can only exceed the engine's post-dedup RuleFirings count.

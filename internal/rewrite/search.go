@@ -52,6 +52,20 @@ type Options struct {
 	// the search measurably — leave it off except when diagnosing rule
 	// cost (the search-engine analogue of a query profiler).
 	Profile bool
+	// NoIndex disables rule indexing: the successor walk tries every rule
+	// at every subterm position instead of consulting the per-System index.
+	// Inverted (like NoDedup) so the zero value keeps indexing on; exists
+	// for ablation and the differential tests.
+	NoIndex bool
+	// NoIntern disables term interning (hash-consing). Interned searches
+	// key their visited sets and caches on canonical pointers; disabling it
+	// falls back to structural hashing everywhere. Disabling interning also
+	// disables the transition cache, whose keys are interned pointers.
+	NoIntern bool
+	// NoCache disables the cross-query transition cache even when the
+	// System carries one (System.Cache); successor sets are recomputed per
+	// search.
+	NoCache bool
 }
 
 // DefaultOptions returns the default search configuration. It is the
@@ -94,6 +108,21 @@ type SearchStats struct {
 	// RuleProfile holds the per-rule cost profile; nil unless
 	// Options.Profile was set.
 	RuleProfile map[string]*RuleCost
+	// RulesSkippedByIndex counts rule attempts the successor index avoided
+	// (rules filtered out at a position before matching was tried). Zero
+	// when indexing is disabled.
+	RulesSkippedByIndex int64
+	// SubtreesPruned counts subterm positions never visited because the
+	// subtree bitmap proved no rule could match inside.
+	SubtreesPruned int64
+	// CacheHits and CacheMisses count transition-cache lookups during this
+	// search. Hits include states whose successor sets were computed by an
+	// earlier query sharing the same System. Both zero when no cache is
+	// attached or caching is disabled.
+	CacheHits, CacheMisses int64
+	// InternerSize is the process-global interned-term count when the
+	// snapshot was taken (an occupancy gauge, not a per-search delta).
+	InternerSize int64
 }
 
 // RuleCost is one rule's row of the search profile.
@@ -219,6 +248,18 @@ func (st *SearchStats) String() string {
 		st.StatesExplored, st.StatesPerSec(), st.Elapsed.Round(time.Microsecond), st.Workers)
 	fmt.Fprintf(&b, "dedup hits:       %d (%.1f%% of generated successors)\n",
 		st.DedupHits, 100*st.DedupRate())
+	if st.RulesSkippedByIndex > 0 || st.SubtreesPruned > 0 {
+		fmt.Fprintf(&b, "rule index:       %d attempts skipped, %d subtrees pruned\n",
+			st.RulesSkippedByIndex, st.SubtreesPruned)
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(&b, "transition cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			st.CacheHits, st.CacheMisses,
+			100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses))
+	}
+	if st.InternerSize > 0 {
+		fmt.Fprintf(&b, "interner:         %d terms\n", st.InternerSize)
+	}
 	if len(st.Frontier) > 0 {
 		fmt.Fprintf(&b, "frontier by depth:")
 		for d, n := range st.Frontier {
@@ -274,7 +315,12 @@ func (n *node) witness() []Step {
 // result with Interrupted set and no error; callers map it to the same
 // Unknown verdict as a state-budget truncation.
 func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts Options) (*SearchResult, error) {
-	start, err := s.Normalize(init)
+	var rp *ruleProfiler
+	if opts.Profile {
+		rp = newRuleProfiler(s.Rules)
+	}
+	e := s.engine(opts, rp)
+	start, err := e.normalize(init)
 	if err != nil {
 		return nil, err
 	}
@@ -282,15 +328,18 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	if opts.DepthFirst {
 		stats.Workers = 1
 	}
-	var rp *ruleProfiler
-	if opts.Profile {
-		rp = newRuleProfiler(s.Rules)
-	}
 	began := time.Now()
 	res := &SearchResult{StatesExplored: 1, Stats: stats}
 	snapshot := func() {
 		stats.StatesExplored = res.StatesExplored
 		stats.Elapsed = time.Since(began)
+		stats.RulesSkippedByIndex = e.rulesSkipped.Load()
+		stats.SubtreesPruned = e.subtreesPruned.Load()
+		stats.CacheHits = e.cacheHits.Load()
+		stats.CacheMisses = e.cacheMisses.Load()
+		if e.intern {
+			stats.InternerSize = InternerSize()
+		}
 		if rp != nil {
 			stats.RuleProfile = rp.profile()
 		}
@@ -316,15 +365,43 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	}
 
 	if opts.DepthFirst {
-		if err := s.searchDFS(ctx, start, goal, opts, res, stats, rp); err != nil {
+		if err := e.searchDFS(ctx, start, goal, opts, res, stats); err != nil {
 			return nil, err
 		}
 		return finish()
 	}
-	if err := s.searchBFS(ctx, start, goal, opts, res, stats, rp, snapshot); err != nil {
+	if err := e.searchBFS(ctx, start, goal, opts, res, stats, snapshot); err != nil {
 		return nil, err
 	}
 	return finish()
+}
+
+// visitedSet is the search's visited-state set. Interned searches key on
+// canonical pointers (one map probe, no structural work); uninterned
+// searches fall back to the hash-bucketed structural set. Both implement
+// the same equivalence relation, so dedup decisions are identical.
+type visitedSet struct {
+	ptrs map[*Term]struct{} // non-nil when interning
+	set  *stateSet          // non-nil otherwise
+}
+
+func newVisitedSet(intern bool) *visitedSet {
+	if intern {
+		return &visitedSet{ptrs: make(map[*Term]struct{})}
+	}
+	return &visitedSet{set: newStateSet()}
+}
+
+// add inserts t and reports whether it was absent (true = newly added).
+func (v *visitedSet) add(t *Term) bool {
+	if v.ptrs != nil {
+		if _, ok := v.ptrs[t]; ok {
+			return false
+		}
+		v.ptrs[t] = struct{}{}
+		return true
+	}
+	return v.set.add(t)
 }
 
 // expansion is one frontier node's precomputed successor set. Successor
@@ -348,8 +425,9 @@ type expansion struct {
 //
 // snapshot refreshes the running stats (and fires OnStats) after each
 // completed level.
-func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, rp *ruleProfiler, snapshot func()) error {
-	visited := newStateSet()
+func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, snapshot func()) error {
+	s := e.sys
+	visited := newVisitedSet(e.intern)
 	if !opts.NoDedup {
 		visited.add(start)
 	}
@@ -383,7 +461,7 @@ func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			// so the merge below can replay them in frontier order.
 			exps := make([]expansion, hi-lo)
 			expand := func(i int) {
-				succs, err := s.successors(frontier[i].state, rp)
+				succs, err := e.successors(frontier[i].state)
 				if err != nil {
 					exps[i-lo].err = err
 					return
@@ -466,8 +544,9 @@ func (s *System) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 }
 
 // searchDFS is the sequential LIFO engine (the frontier-order ablation).
-func (s *System) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, rp *ruleProfiler) error {
-	visited := newStateSet()
+func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats) error {
+	s := e.sys
+	visited := newVisitedSet(e.intern)
 	if !opts.NoDedup {
 		visited.add(start)
 	}
@@ -482,7 +561,7 @@ func (s *System) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
 			continue
 		}
-		succs, err := s.successors(n.state, rp)
+		succs, err := e.successors(n.state)
 		if err != nil {
 			return err
 		}

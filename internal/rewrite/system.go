@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,6 +67,26 @@ type System struct {
 	Eqs []Rule
 	// Rules are the transition rules.
 	Rules []Rule
+	// Cache, if set, memoizes successor sets per interned state across
+	// searches over this System (see TransitionCache); rosa.Checker attaches
+	// one cache per program so all queries share the expanded graph. Only
+	// consulted while interning is enabled, because keys are canonical
+	// pointers.
+	Cache *TransitionCache
+
+	idxOnce sync.Once  // builds idx on first search
+	idx     *ruleIndex // successor index over Rules
+
+	normMu    sync.Mutex      // guards normCache
+	normCache map[*Term]*Term // interned term -> interned normal form
+}
+
+// index returns the successor index, building it on first use. Rules must
+// not change after the first search (rosa builds its extended systems before
+// searching, so this holds there by construction).
+func (s *System) index() *ruleIndex {
+	s.idxOnce.Do(func() { s.idx = buildRuleIndex(s.Rules) })
+	return s.idx
 }
 
 // maxNormalizeSteps guards against non-terminating equation sets.
@@ -74,7 +97,12 @@ const maxNormalizeSteps = 100_000
 var ErrNormalize = errors.New("rewrite: equations did not terminate")
 
 // Normalize applies equations innermost-first until no equation applies.
+// A system with no equations returns t unchanged without walking it — the
+// common case for ROSA, whose theory is pure rules.
 func (s *System) Normalize(t *Term) (*Term, error) {
+	if len(s.Eqs) == 0 {
+		return t, nil
+	}
 	steps := 0
 	var norm func(t *Term) (*Term, error)
 	norm = func(t *Term) (*Term, error) {
@@ -138,49 +166,231 @@ type Step struct {
 // Rules are tried at the root and, recursively, at every subterm position
 // (congruence), then the results are normalized. Duplicate successors are
 // coalesced by structural equality (hash-interned, like the search's
-// visited set).
+// visited set). All engine optimizations are on; use SuccessorsOpts to
+// disable them selectively.
 func (s *System) Successors(t *Term) ([]Step, error) {
-	return s.successors(t, nil)
+	return s.SuccessorsOpts(t, Options{})
 }
 
-// successors implements Successors, optionally recording per-rule cost into
-// rp (nil disables profiling and costs nothing). Timing is per apply call —
-// one rule tried at one subterm position — so attribution is exact, at the
-// price of two clock reads per attempt when profiling.
-func (s *System) successors(t *Term, rp *ruleProfiler) ([]Step, error) {
+// SuccessorsOpts is Successors under explicit engine toggles: NoIndex,
+// NoIntern, and NoCache each disable one optimization. The returned steps
+// are identical — same successors, same order, same renderings — whichever
+// toggles are set; the differential tests enforce this against the naive
+// walk.
+func (s *System) SuccessorsOpts(t *Term, opts Options) ([]Step, error) {
+	e := s.engine(opts, nil)
+	if e.intern {
+		t = Intern(t)
+	} else {
+		t = canonOrder(t)
+	}
+	return e.successors(t)
+}
+
+// engine is one search's view of the successor machinery: the System plus
+// the optimization toggles in effect and local effectiveness counters that
+// fold into SearchStats when the search finishes. A nil idx runs the naive
+// every-rule-every-position walk; intern=false disables hash-consing (and
+// with it the transition cache, whose keys are canonical pointers).
+type engine struct {
+	sys    *System
+	idx    *ruleIndex
+	intern bool
+	cache  *TransitionCache
+	rp     *ruleProfiler
+
+	rulesSkipped   atomic.Int64 // rule attempts avoided by the index
+	subtreesPruned atomic.Int64 // subtrees skipped by the bitmap filter
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+}
+
+// engine builds the successor engine for one search or Successors call.
+func (s *System) engine(opts Options, rp *ruleProfiler) *engine {
+	e := &engine{sys: s, rp: rp, intern: !opts.NoIntern}
+	if !opts.NoIndex {
+		e.idx = s.index()
+	}
+	if e.intern && !opts.NoCache {
+		e.cache = s.Cache
+	}
+	return e
+}
+
+// normalize canonicalizes a state: equational normal form, then hash-consed
+// via Intern when interning is on (canonOrder without it — both put
+// configuration elements in the same canonical order, so successor
+// enumeration is identical across the toggles). With interning, normal
+// forms are memoized per interned input so repeated simplification of
+// shared shapes is one map probe.
+func (e *engine) normalize(t *Term) (*Term, error) {
+	s := e.sys
+	if !e.intern {
+		n, err := s.Normalize(t)
+		if err != nil {
+			return nil, err
+		}
+		return canonOrder(n), nil
+	}
+	if len(s.Eqs) == 0 {
+		return Intern(t), nil
+	}
+	key := Intern(t)
+	s.normMu.Lock()
+	nf, ok := s.normCache[key]
+	s.normMu.Unlock()
+	if ok {
+		return nf, nil
+	}
+	n, err := s.Normalize(key)
+	if err != nil {
+		return nil, err
+	}
+	nf = Intern(n)
+	s.normMu.Lock()
+	if s.normCache == nil {
+		s.normCache = make(map[*Term]*Term)
+	}
+	s.normCache[key] = nf
+	s.normMu.Unlock()
+	return nf, nil
+}
+
+// successors returns t's full successor set, consulting the transition
+// cache when one is attached. The caller hands the engine canonical states
+// only (normalize output), so cached keys are interned pointers.
+func (e *engine) successors(t *Term) ([]Step, error) {
+	if e.cache != nil {
+		if steps, ok := e.cache.get(t); ok {
+			e.cacheHits.Add(1)
+			return steps, nil
+		}
+		e.cacheMisses.Add(1)
+	}
+	steps, err := e.expand(t, -1)
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		e.cache.put(t, steps)
+	}
+	return steps, nil
+}
+
+// first returns Successors(t)[0] without computing the rest: the walk stops
+// at the first emission, which the duplicate filter cannot have dropped (the
+// seen-set is empty when it lands), so it is exactly the full walk's first
+// element. Partial results are never cached.
+func (e *engine) first(t *Term) (Step, bool, error) {
+	if e.cache != nil {
+		if steps, ok := e.cache.get(t); ok {
+			e.cacheHits.Add(1)
+			if len(steps) == 0 {
+				return Step{}, false, nil
+			}
+			return steps[0], true, nil
+		}
+	}
+	steps, err := e.expand(t, 1)
+	if err != nil {
+		return Step{}, false, err
+	}
+	if len(steps) == 0 {
+		return Step{}, false, nil
+	}
+	return steps[0], true, nil
+}
+
+// errStopWalk unwinds the successor walk once expand has collected limit
+// successors (the first-only path of Rewrite).
+var errStopWalk = errors.New("rewrite: stop walk")
+
+// expand computes t's successor set by trying rules at the root and at every
+// subterm position (congruence), in rule order then position order — the
+// same order whichever optimizations are on, since the index only removes
+// attempts that produce no replacement and prunes subtrees no rule can
+// match inside. limit > 0 stops after that many successors. Timing, when a
+// profiler is attached, is per apply call — one rule tried at one position —
+// so attribution is exact, at the price of two clock reads per attempt.
+func (e *engine) expand(t *Term, limit int) ([]Step, error) {
+	s := e.sys
 	var steps []Step
-	seen := newStateSet()
+	var seenPtr map[*Term]struct{}
+	var seenStruct *stateSet
+	if e.intern {
+		seenPtr = make(map[*Term]struct{})
+	} else {
+		seenStruct = newStateSet()
+	}
+	var skipped, pruned int64
 	emit := func(name string, nt *Term) error {
-		norm, err := s.Normalize(nt)
+		norm, err := e.normalize(nt)
 		if err != nil {
 			return err
 		}
-		if !seen.add(norm) {
+		if e.intern {
+			if _, dup := seenPtr[norm]; dup {
+				return nil
+			}
+			seenPtr[norm] = struct{}{}
+		} else if !seenStruct.add(norm) {
 			return nil
 		}
 		steps = append(steps, Step{Rule: name, Result: norm})
+		if limit > 0 && len(steps) >= limit {
+			return errStopWalk
+		}
+		return nil
+	}
+	applyAt := func(i int, t *Term, rebuild func(*Term) *Term) error {
+		var began time.Time
+		if e.rp != nil {
+			began = time.Now()
+		}
+		reps := s.Rules[i].apply(t, s.Sig)
+		if e.rp != nil {
+			e.rp.record(i, time.Since(began), len(reps))
+		}
+		for _, rep := range reps {
+			if err := emit(s.Rules[i].Name, rebuild(rep)); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
+	total := len(s.Rules)
+	var buf []indexedRule
+	if e.idx != nil {
+		buf = make([]indexedRule, 0, len(e.idx.atConfig))
+	}
 	var walk func(t *Term, rebuild func(*Term) *Term) error
 	walk = func(t *Term, rebuild func(*Term) *Term) error {
-		for i := range s.Rules {
-			var began time.Time
-			if rp != nil {
-				began = time.Now()
+		if e.idx != nil {
+			// buf is shared across recursion levels; each level finishes
+			// iterating its bucket before descending, so no level observes
+			// another's filtered view.
+			tried, sk := e.idx.at(t, total, buf)
+			skipped += int64(sk)
+			for _, ir := range tried {
+				if err := applyAt(ir.idx, t, rebuild); err != nil {
+					return err
+				}
 			}
-			reps := s.Rules[i].apply(t, s.Sig)
-			if rp != nil {
-				rp.record(i, time.Since(began), len(reps))
-			}
-			for _, rep := range reps {
-				if err := emit(s.Rules[i].Name, rebuild(rep)); err != nil {
+		} else {
+			for i := range s.Rules {
+				if err := applyAt(i, t, rebuild); err != nil {
 					return err
 				}
 			}
 		}
 		if t.Kind == Op || t.Kind == Config {
 			for i, a := range t.Args {
+				if e.idx != nil && !e.idx.allPositions &&
+					a.subtreeBits()&e.idx.needMask == 0 {
+					pruned++ // no rule can match at any position inside a
+					continue
+				}
 				i, a := i, a
 				err := walk(a, func(na *Term) *Term {
 					args := make([]*Term, len(t.Args))
@@ -198,7 +408,10 @@ func (s *System) successors(t *Term, rp *ruleProfiler) ([]Step, error) {
 		}
 		return nil
 	}
-	if err := walk(t, func(nt *Term) *Term { return nt }); err != nil {
+	err := walk(t, func(nt *Term) *Term { return nt })
+	e.rulesSkipped.Add(skipped)
+	e.subtreesPruned.Add(pruned)
+	if err != nil && err != errStopWalk {
 		return nil, err
 	}
 	return steps, nil
@@ -299,11 +512,11 @@ func FormatWitness(w []Step) string {
 	if len(w) == 0 {
 		return "(initial state matches)"
 	}
-	out := ""
+	var b strings.Builder
 	for i, st := range w {
-		out += fmt.Sprintf("%2d. %s -> %s\n", i+1, st.Rule, st.Result)
+		fmt.Fprintf(&b, "%2d. %s -> %s\n", i+1, st.Rule, st.Result)
 	}
-	return out
+	return b.String()
 }
 
 // Rewrite is Maude's `rewrite` command: starting from t, repeatedly apply
@@ -313,22 +526,25 @@ func FormatWitness(w []Step) string {
 // execution — useful for simulating a single run of a specification. It
 // returns the final term, the steps taken, and whether it stopped because
 // the budget ran out.
+// Rewrite only needs each state's first successor, so its engine walk stops
+// at the first emission instead of enumerating the full set.
 func (s *System) Rewrite(t *Term, maxSteps int) (*Term, []Step, bool, error) {
-	cur, err := s.Normalize(t)
+	e := s.engine(Options{}, nil)
+	cur, err := e.normalize(t)
 	if err != nil {
 		return nil, nil, false, err
 	}
 	var trace []Step
 	for steps := 0; maxSteps <= 0 || steps < maxSteps; steps++ {
-		succs, err := s.Successors(cur)
+		st, ok, err := e.first(cur)
 		if err != nil {
 			return nil, nil, false, err
 		}
-		if len(succs) == 0 {
+		if !ok {
 			return cur, trace, false, nil
 		}
-		cur = succs[0].Result
-		trace = append(trace, succs[0])
+		cur = st.Result
+		trace = append(trace, st)
 	}
 	return cur, trace, true, nil
 }

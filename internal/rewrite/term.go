@@ -54,8 +54,10 @@ type Term struct {
 	// Args are the arguments of an Op or the elements of a Config.
 	Args []*Term
 
-	str  atomic.Pointer[string] // memoized canonical rendering
-	hash atomic.Uint64          // memoized structural hash; 0 = unset
+	str      atomic.Pointer[string] // memoized canonical rendering
+	hash     atomic.Uint64          // memoized structural hash; 0 = unset
+	bits     atomic.Uint64          // memoized subtree symbol bitmap; 0 = unset
+	interned atomic.Bool            // set once by Intern on the canonical copy
 }
 
 // NewInt returns an integer term.
@@ -107,12 +109,17 @@ func (t *Term) MustInt() int64 {
 // Equal reports structural equality modulo configuration element order.
 // It compares structurally (with hash-guided alignment of configuration
 // elements) and never renders, so it is cheap and safe under concurrency.
+// Interned terms (hash-consed by Intern) compare by pointer alone: the
+// interner maps each equivalence class to one canonical term.
 func (t *Term) Equal(u *Term) bool {
 	if t == u {
 		return true
 	}
 	if t == nil || u == nil {
 		return false
+	}
+	if t.interned.Load() && u.interned.Load() {
+		return false // distinct canonical representatives
 	}
 	if t.Hash() != u.Hash() {
 		return false

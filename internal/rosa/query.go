@@ -168,6 +168,17 @@ func (q *Query) runOn(ctx context.Context, sys *rewrite.System) (*Result, error)
 	reg.Counter("rosa_states_explored_total").Add(int64(res.StatesExplored))
 	reg.Histogram("rosa_query_states").Observe(int64(res.StatesExplored))
 	reg.Timer("rosa_query_elapsed_ns").Observe(res.Elapsed)
+	if st := res.Stats; st != nil {
+		// Successor-engine effectiveness: how much work the rule index,
+		// subtree pruning, and the cross-query transition cache saved.
+		reg.Counter("rosa_rules_skipped_by_index_total").Add(st.RulesSkippedByIndex)
+		reg.Counter("rosa_subtrees_pruned_total").Add(st.SubtreesPruned)
+		reg.Counter("rosa_succ_cache_hits_total").Add(st.CacheHits)
+		reg.Counter("rosa_succ_cache_misses_total").Add(st.CacheMisses)
+		if st.InternerSize > 0 {
+			reg.Gauge("rosa_interner_terms").Set(st.InternerSize)
+		}
+	}
 	return res, nil
 }
 

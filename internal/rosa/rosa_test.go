@@ -444,10 +444,12 @@ func TestMessagesAreConsumedOnce(t *testing.T) {
 
 func TestSearchShape(t *testing.T) {
 	// The §VIII observation: impossible attacks explore more states than
-	// possible ones, because the whole space must be exhausted.
-	// Same privileges (CapSetgid) and the same message set except the open
-	// mode: reading /dev/mem via the kmem group is possible and found
-	// early; writing is impossible, so the search exhausts the whole space.
+	// possible ones, because the whole space must be exhausted. Both queries
+	// run over the same transition graph — CapSetgid plus a read-mode open —
+	// so the state counts are directly comparable: reading /dev/mem via the
+	// kmem group is possible and the search stops at the witness; a
+	// read-only open never puts the file in the write set, so the write-set
+	// goal forces the search through every state.
 	objs := func() []*rewrite.Term {
 		return []*rewrite.Term{
 			Process(1, UniformCreds(1000, 1000), nil, nil), devMem(),
@@ -455,15 +457,15 @@ func TestSearchShape(t *testing.T) {
 		}
 	}
 	privs := caps.NewSet(caps.CapSetgid)
-	msgs := func(mode int) []*rewrite.Term {
+	msgs := func() []*rewrite.Term {
 		return []*rewrite.Term{
 			SetgidMsg(1, Wild, privs),
 			SetresgidMsg(1, Wild, Wild, Wild, privs),
-			OpenMsg(1, Wild, mode, privs),
+			OpenMsg(1, Wild, OpenRead, privs),
 		}
 	}
-	possible := runQuery(t, objs(), msgs(OpenRead), GoalFileInReadSet(3))
-	impossible := runQuery(t, objs(), msgs(OpenWrite), GoalFileInWriteSet(3))
+	possible := runQuery(t, objs(), msgs(), GoalFileInReadSet(3))
+	impossible := runQuery(t, objs(), msgs(), GoalFileInWriteSet(3))
 	if possible.Verdict != Vulnerable || impossible.Verdict != Safe {
 		t.Fatalf("verdicts = %s/%s", possible.Verdict, impossible.Verdict)
 	}

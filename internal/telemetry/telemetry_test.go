@@ -56,8 +56,8 @@ func TestHistogramQuantiles(t *testing.T) {
 		h.Observe(v)
 	}
 	tests := []struct {
-		q        float64
-		lo, hi   int64 // containing bucket of the true quantile value
+		q      float64
+		lo, hi int64 // containing bucket of the true quantile value
 	}{
 		{0.50, 256, 511},  // true p50 = 500
 		{0.95, 512, 1000}, // true p95 = 950
