@@ -9,6 +9,7 @@
 //	autopriv -program passwd
 //	autopriv -program sshd -emit
 //	autopriv -file prog.pir
+//	autopriv -program su -log-level debug
 package main
 
 import (
@@ -16,10 +17,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"privanalyzer/internal/autopriv"
 	"privanalyzer/internal/ir"
 	"privanalyzer/internal/programs"
+	"privanalyzer/internal/telemetry"
 )
 
 func main() {
@@ -29,12 +32,22 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("autopriv", flag.ContinueOnError)
 	var (
-		program = fs.String("program", "", "modeled program to analyse ("+fmt.Sprint(programs.Names())+")")
-		file    = fs.String("file", "", "IR text file to analyse instead of a modeled program")
-		emit    = fs.Bool("emit", false, "print the transformed IR")
+		program  = fs.String("program", "", "modeled program to analyse ("+fmt.Sprint(programs.Names())+")")
+		file     = fs.String("file", "", "IR text file to analyse instead of a modeled program")
+		emit     = fs.Bool("emit", false, "print the transformed IR")
+		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
+		logJSON  = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopriv:", err)
+		return 2
+	}
+	if logger == nil {
+		logger = telemetry.Discard
 	}
 
 	var m *ir.Module
@@ -62,11 +75,18 @@ func run(args []string) int {
 		return 2
 	}
 
+	began := time.Now()
 	res, err := autopriv.Analyze(m, autopriv.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autopriv:", err)
 		return 1
 	}
+	logger.Debug("autopriv done",
+		"component", "autopriv",
+		"module", m.Name,
+		"required_permitted", res.RequiredPermitted.String(),
+		"removals", len(res.Removals),
+		"elapsed", time.Since(began))
 
 	fmt.Printf("module: %s (%d functions, %d instructions)\n", m.Name, len(m.Funcs), m.NumInstrs())
 	fmt.Printf("required permitted set: %s\n", res.RequiredPermitted)

@@ -22,6 +22,7 @@ import (
 	"privanalyzer/internal/interp"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/report"
+	"privanalyzer/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func run(args []string) int {
 		trace    = fs.Bool("trace", false, "print the kernel syscall trace")
 		jsonOut  = fs.Bool("json", false, "print the report as JSON instead of the table")
 		hotCount = fs.Int("hot", 0, "also print the N hottest basic blocks by instructions executed (0 = off)")
+		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
+		logJSON  = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,6 +45,14 @@ func run(args []string) int {
 	if *program == "" {
 		fs.Usage()
 		return 2
+	}
+	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chronopriv:", err)
+		return 2
+	}
+	if logger == nil {
+		logger = telemetry.Discard
 	}
 	p, err := programs.ByName(*program)
 	if err != nil {
@@ -54,6 +65,11 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "chronopriv:", err)
 		return 1
 	}
+	logger.Debug("autopriv done",
+		"component", "autopriv",
+		"program", p.Name,
+		"required_permitted", ares.RequiredPermitted.String(),
+		"removals", len(ares.Removals))
 	k := p.NewKernel(ares.RequiredPermitted)
 	k.TraceEnabled = *trace
 	rt := chronopriv.NewRuntime(k)
@@ -61,6 +77,7 @@ func run(args []string) int {
 		MainArgs: p.MainArgs,
 		OnStep:   rt.OnStep,
 		Profile:  *hotCount > 0,
+		Logger:   logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronopriv:", err)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"privanalyzer/internal/core"
+	"privanalyzer/internal/interp"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/report"
 	"privanalyzer/internal/rewrite"
@@ -58,12 +59,20 @@ func run(args []string) (code int) {
 		noCache     = fs.Bool("no-cache", false, "disable the cross-query transition cache (ablation)")
 		telemJSON   = fs.String("telemetry-json", "", "write the run's telemetry (spans and metrics) as JSONL to this file")
 		promPath    = fs.String("prom", "", "write the run's metrics in Prometheus text exposition format to this file")
-		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof on this address while the run executes (e.g. "localhost:6060"; off by default)`)
+		traceOut    = fs.String("trace-out", "", "write the run as Chrome Trace Event JSON — spans, per-worker search events, hot-block counters — to this file (load in ui.perfetto.dev)")
+		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof plus /healthz, /readyz, and /metrics on this address while the run executes (e.g. "localhost:6060"; off by default)`)
+		logLevel    = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
+		logJSON     = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+		return 2
+	}
 	opts := core.Options{
 		Search: rewrite.Options{
 			MaxStates: *budget, Workers: *workers, Profile: *stats,
@@ -71,11 +80,19 @@ func run(args []string) (code int) {
 		},
 		Parallel: *parallel,
 	}
-	ctx := context.Background()
+	ctx := telemetry.WithLogger(context.Background(), logger)
 	var reg *telemetry.Registry
-	if *telemJSON != "" || *promPath != "" {
+	if *telemJSON != "" || *promPath != "" || *traceOut != "" {
 		reg = telemetry.New()
 		ctx = telemetry.NewContext(ctx, reg)
+	}
+	var rec *telemetry.Recorder
+	var counterTracks []telemetry.CounterTrack
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(0)
+		opts.Search.Recorder = rec
+		// The hot-block profile becomes the trace's counter tracks.
+		opts.ProfileBlocks = true
 	}
 	defer func() {
 		if err := flushTelemetry(reg, *telemJSON, *promPath); err != nil {
@@ -84,13 +101,24 @@ func run(args []string) (code int) {
 				code = 1
 			}
 		}
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, reg, rec, counterTracks); err != nil {
+				fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "trace: wrote %s (load in ui.perfetto.dev)\n", *traceOut)
+			}
+		}
 	}()
 	if *pprofAddr != "" {
-		if err := servePprof(*pprofAddr); err != nil {
+		addr, err := servePprof(*pprofAddr, reg)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ (also /healthz, /readyz, /metrics)\n", addr)
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -166,10 +194,14 @@ func run(args []string) (code int) {
 			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 			return 1
 		}
+		began := time.Now()
 		a, err := core.AnalyzeContext(ctx, p, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 			return 1
+		}
+		if *traceOut != "" && a.HotBlocks != nil {
+			counterTracks = append(counterTracks, hotBlockTrack(name, a.HotBlocks, began, time.Now()))
 		}
 		if p.Refactored {
 			refactored = append(refactored, a)
@@ -222,6 +254,42 @@ func run(args []string) (code int) {
 		}
 	}
 	return exitCode
+}
+
+// hotBlockTrack turns one analysis's hot-block profile into a Chrome-trace
+// counter track: one series per hot block, zero at analysis start and the
+// block's instruction count at analysis end, so Perfetto renders the run's
+// instruction distribution over the analysis span.
+func hotBlockTrack(name string, prof *interp.BlockProfile, start, end time.Time) telemetry.CounterTrack {
+	const topN = 8
+	zero := make(map[string]int64)
+	vals := make(map[string]int64)
+	for _, bc := range prof.Top(topN) {
+		key := "@" + bc.Fn + ":" + bc.Block
+		zero[key] = 0
+		vals[key] = bc.Steps
+	}
+	return telemetry.CounterTrack{
+		Name: "hot blocks " + name,
+		Samples: []telemetry.CounterSample{
+			{T: start, Values: zero},
+			{T: end, Values: vals},
+		},
+	}
+}
+
+// writeTraceFile writes the combined capture — spans, recorder events,
+// hot-block counter tracks — as Chrome Trace Event JSON.
+func writeTraceFile(path string, reg *telemetry.Registry, rec *telemetry.Recorder, counters []telemetry.CounterTrack) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteTrace(f, reg, rec, counters); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // flushTelemetry writes the run's telemetry to the files requested by

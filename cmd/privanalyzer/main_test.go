@@ -215,6 +215,57 @@ func TestRunTelemetryFlags(t *testing.T) {
 	}
 }
 
+// TestRunTraceOut: the pipeline-level trace export must combine all three
+// sources — the span tree, the search flight recorder's per-worker instants,
+// and the interp hot-block counter track — in valid Trace Event JSON.
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out, code := capture(t, func() int {
+		return run([]string{"-program", "ping", "-trace-out", path})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("-trace-out did not produce valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		phases[ev.Ph]++
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"analyze", "autopriv", "chronopriv", "rosa.query"} {
+		if !names[want] {
+			t.Errorf("trace missing the %q span", want)
+		}
+	}
+	if phases["i"] == 0 || !names["level_start"] {
+		t.Errorf("trace missing recorder instants: phases %v", phases)
+	}
+	if phases["C"] == 0 || !names["hot blocks ping"] {
+		t.Errorf("trace missing the hot-block counter track: phases %v", phases)
+	}
+	// The counter samples carry per-block instruction counts as series.
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "C" && len(ev.Args) == 0 {
+			t.Errorf("counter sample %q has no series", ev.Name)
+		}
+	}
+}
+
 func TestRunBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the whole query grid")

@@ -1,20 +1,32 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+
+	"privanalyzer/internal/telemetry"
 )
 
-// servePprof starts a net/http/pprof server on addr in the background. The
-// import lives in this file so the profiling endpoints exist only behind the
-// explicit -pprof flag; nothing listens by default. Binding errors surface
-// synchronously so a bad address fails the run instead of silently profiling
-// nothing.
-func servePprof(addr string) error {
+// servePprof starts the diagnostics server on addr in the background: the
+// net/http/pprof endpoints plus /healthz (process liveness), /readyz
+// (analysis accepting work — identical here, but split so orchestration
+// probes have distinct endpoints), and /metrics (the run's registry in
+// Prometheus text exposition format; empty when no -telemetry flags enabled
+// a registry). The pprof import lives in this file so the endpoints exist
+// only behind the explicit -pprof flag; nothing listens by default.
+//
+// Binding errors surface synchronously so a bad address fails the run
+// instead of silently profiling nothing; the returned string is the bound
+// address (useful with ":0"). Serve errors after binding are reported to
+// stderr instead of being dropped.
+func servePprof(addr string, reg *telemetry.Registry) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return "", err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -22,6 +34,22 @@ func servePprof(addr string) error {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux) //nolint:errcheck // server lives for the process
-	return nil
+	ok := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}
+	mux.HandleFunc("/healthz", ok)
+	mux.HandleFunc("/readyz", ok)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "privanalyzer: pprof server:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
 }

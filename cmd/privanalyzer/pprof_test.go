@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"privanalyzer/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServePprofEndpoints(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("test_total").Add(3)
+	addr, err := servePprof("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("servePprof: %v", err)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, _, body := get(t, "http://"+addr+path)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, code)
+		}
+		if strings.TrimSpace(body) != "ok" {
+			t.Errorf("%s: body %q, want ok", path, body)
+		}
+	}
+
+	code, ct, body := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics: status %d, want 200", code)
+	}
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ct != want {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, want)
+	}
+	if !strings.Contains(body, "test_total") {
+		t.Errorf("/metrics body missing test_total:\n%s", body)
+	}
+
+	code, _, _ = get(t, "http://"+addr+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d, want 200", code)
+	}
+}
+
+func TestServePprofNilRegistry(t *testing.T) {
+	addr, err := servePprof("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("servePprof: %v", err)
+	}
+	code, _, _ := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics with nil registry: status %d, want 200", code)
+	}
+}
+
+func TestServePprofBadAddr(t *testing.T) {
+	if _, err := servePprof("256.0.0.1:bad", nil); err == nil {
+		t.Fatal("servePprof with bad address: want error, got nil")
+	}
+}

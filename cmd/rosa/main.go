@@ -12,12 +12,17 @@
 //	rosa -example -maude   # print the query in Maude syntax too
 //	rosa -example -stats   # print search statistics (states/sec, frontier, …)
 //	rosa -query f.rosa -timeout 5s -workers 4  # bounded wall clock, 4 workers
+//	rosa -example -explain                # witness annotated from the recorder
+//	rosa -example -trace-out trace.json   # Chrome Trace / Perfetto export
+//	rosa -example -progress 200ms         # live progress line on stderr
+//	rosa -example -log-level debug        # structured logs on stderr
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +33,7 @@ import (
 	"privanalyzer/internal/report"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
+	"privanalyzer/internal/telemetry"
 	"privanalyzer/internal/vkernel"
 )
 
@@ -54,12 +60,27 @@ func run(args []string) int {
 		maude    = fs.Bool("maude", false, "also print the query in the paper's Maude syntax")
 		module   = fs.Bool("module", false, "print the generated Maude UNIX module source and exit")
 		simulate = fs.Bool("simulate", false, "follow one deterministic execution (Maude's rewrite) instead of searching")
+		explain  = fs.Bool("explain", false, "annotate the witness from the search flight recorder: per-step depth, frontier size, and time-to-discovery")
+		traceOut = fs.String("trace-out", "", "write the search as Chrome Trace Event JSON to this file (load in ui.perfetto.dev)")
+		progress = fs.Duration("progress", 0, "print a live progress line to stderr at this interval, e.g. 200ms (0 = off)")
+		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
+		logJSON  = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	rep := reporter{timeout: *timeout, workers: *workers, stats: *stats, noIndex: *noIndex, noIntern: *noIntern}
+	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rosa:", err)
+		return 2
+	}
+	rep := reporter{
+		timeout: *timeout, workers: *workers, stats: *stats,
+		noIndex: *noIndex, noIntern: *noIntern,
+		explain: *explain, traceOut: *traceOut, progress: *progress,
+		logger: logger,
+	}
 
 	if *module {
 		fmt.Print(rosa.MaudeModule())
@@ -171,13 +192,18 @@ func simulateQuery(q *rosa.Query) int {
 	return 0
 }
 
-// reporter carries the search-tuning flags shared by every query mode.
+// reporter carries the search-tuning and observability flags shared by every
+// query mode.
 type reporter struct {
 	timeout  time.Duration
 	workers  int
 	stats    bool
 	noIndex  bool
 	noIntern bool
+	explain  bool
+	traceOut string
+	progress time.Duration
+	logger   *slog.Logger
 }
 
 func (r reporter) report(what string, q *rosa.Query) int {
@@ -189,23 +215,92 @@ func (r reporter) report(what string, q *rosa.Query) int {
 	q.Profile = r.stats
 	q.NoIndex = r.noIndex
 	q.NoIntern = r.noIntern
+
+	// -explain and -trace-out both need the flight recorder; -trace-out also
+	// needs the span registry for the pipeline track.
+	var rec *telemetry.Recorder
+	if r.explain || r.traceOut != "" {
+		rec = telemetry.NewRecorder(0)
+		q.Recorder = rec
+	}
+	var reg *telemetry.Registry
 	ctx := context.Background()
+	if r.traceOut != "" {
+		reg = telemetry.New()
+		ctx = telemetry.NewContext(ctx, reg)
+	}
+	ctx = telemetry.WithLogger(ctx, r.logger)
+	if r.progress > 0 {
+		q.StatsInterval = r.progress
+		budget := q.MaxStates
+		if budget <= 0 {
+			budget = rosa.DefaultMaxStates
+		}
+		q.OnStats = func(st *rewrite.SearchStats) {
+			frontier := 0
+			if len(st.Frontier) > 0 {
+				frontier = st.Frontier[len(st.Frontier)-1]
+			}
+			hitRate := 0.0
+			if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+				hitRate = 100 * float64(st.CacheHits) / float64(lookups)
+			}
+			fmt.Fprintf(os.Stderr, "\rdepth %-3d  %9d states (%.0f/s)  frontier %-7d  cache %5.1f%%  budget %5.1f%%  ",
+				st.Depth, st.StatesExplored, st.StatesPerSec(), frontier,
+				hitRate, 100*float64(st.StatesExplored)/float64(budget))
+		}
+	}
 	if r.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.timeout)
 		defer cancel()
 	}
+	sp, ctx := telemetry.StartSpan(ctx, "rosa.query", "query", what)
 	res, err := q.RunContext(ctx)
+	if r.progress > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rosa:", err)
 		return 1
 	}
+	if res != nil {
+		sp.SetLabel("verdict", res.Verdict.String())
+	}
+	sp.End()
 	fmt.Printf("verdict: %s  (%d states explored in %s)\n", res.Verdict, res.StatesExplored, res.Elapsed)
 	if res.Verdict == rosa.Vulnerable {
 		fmt.Printf("\nwitness (attack syscall sequence):\n%s", rewrite.FormatWitness(res.Witness))
 	}
+	if r.explain {
+		fmt.Printf("\n%s", report.ExplainWitness(res, rec.Journal()))
+		if n := rec.Dropped(); n > 0 {
+			fmt.Printf("(flight recorder overflowed: %d oldest events dropped)\n", n)
+		}
+	}
 	if r.stats && res.Stats != nil {
 		fmt.Printf("\n%s", report.SearchStatsText(res.Stats))
 	}
+	if r.traceOut != "" {
+		if err := writeTrace(r.traceOut, reg, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "rosa:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (load in ui.perfetto.dev)\n", r.traceOut)
+	}
 	return 0
+}
+
+// writeTrace writes the combined span + recorder capture as Chrome Trace
+// Event JSON.
+func writeTrace(path string, reg *telemetry.Registry, rec *telemetry.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteTrace(f, reg, rec, nil); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -149,6 +151,107 @@ func TestRunStatsFlag(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("-stats output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunExplainThttpd is the ISSUE's acceptance case: the thttpd_priv1
+// grid cell (Figure 9's first bar, attack 1) with -explain must print a
+// step-annotated witness timeline from the flight recorder.
+func TestRunExplainThttpd(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{
+			"-attack", "1",
+			"-privs", "CapChown,CapSetgid,CapSetuid,CapNetBindService,CapSysChroot",
+			"-uid", "1000,1000,1000",
+			"-gid", "1000,1000,1000",
+			"-explain",
+		})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"verdict: ✓",
+		"attack found in 2 steps",
+		"goal matched at +",
+		"step", "syscall", "depth", "frontier", "found-at",
+		"chown", "open",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Every step row must carry a found-at annotation, not the "-" fallback.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 5 && (fields[0] == "1" || fields[0] == "2") && fields[4] == "-" {
+			t.Errorf("step row missing its found-at annotation: %q", line)
+		}
+	}
+}
+
+func TestRunExplainSafe(t *testing.T) {
+	out, code := capture(t, func() int {
+		return run([]string{
+			"-attack", "3",
+			"-privs", "",
+			"-syscalls", "socket,bind,connect",
+			"-explain",
+		})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "no witness to explain") {
+		t.Errorf("safe -explain must say there is no witness:\n%s", out)
+	}
+}
+
+// TestRunTraceOut: the exported file must parse as Chrome Trace Event JSON
+// with the rosa.query span and the recorder's instant events.
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out, code := capture(t, func() int {
+		return run([]string{"-example", "-trace-out", path})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("-trace-out did not produce valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		phases[ev.Ph]++
+		names[ev.Name] = true
+		if ev.TS < 0 {
+			t.Errorf("negative timestamp on %q", ev.Name)
+		}
+	}
+	if phases["X"] == 0 || !names["rosa.query"] {
+		t.Errorf("trace missing the rosa.query span: phases %v", phases)
+	}
+	if phases["i"] == 0 || !names["level_start"] || !names["goal_matched"] {
+		t.Errorf("trace missing recorder instants: phases %v, names %v", phases, names)
+	}
+	if phases["M"] == 0 {
+		t.Errorf("trace missing thread metadata: phases %v", phases)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"privanalyzer/internal/attacks"
 	"privanalyzer/internal/autopriv"
 	"privanalyzer/internal/chronopriv"
+	"privanalyzer/internal/interp"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
@@ -50,6 +51,11 @@ type Options struct {
 	// query's search is deterministic and independent); only wall-clock
 	// time changes.
 	Parallel bool
+	// ProfileBlocks runs the ChronoPriv measurement with the interpreter's
+	// hot-block profile enabled and reports it in Analysis.HotBlocks; the
+	// -trace-out exporter turns it into counter tracks. Costs one slice
+	// increment per counted instruction.
+	ProfileBlocks bool
 }
 
 // DefaultMaxStates is the per-query budget standing in for the paper's
@@ -92,6 +98,9 @@ type Analysis struct {
 	// metric. Unknown phases count as not vulnerable, following the
 	// paper's reading of its timeouts.
 	VulnerableShare [4]float64
+	// HotBlocks is the interpreter's hot-block profile for the ChronoPriv
+	// run; nil unless Options.ProfileBlocks was set.
+	HotBlocks *interp.BlockProfile
 }
 
 // Analyze runs the full PrivAnalyzer pipeline on a program. It is the
@@ -127,12 +136,23 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 		ids = attacks.All
 	}
 
-	rep, ares, err := p.MeasureContext(ctx)
+	lg := telemetry.Logger(ctx).With("component", "core", "program", p.Name)
+	lg.Debug("analysis start", "max_states", search.MaxStates, "attacks", len(ids))
+
+	var rep *chronopriv.Report
+	var ares *autopriv.Result
+	var hot *interp.BlockProfile
+	var err error
+	if opts.ProfileBlocks {
+		rep, ares, hot, err = p.MeasureProfiled(ctx)
+	} else {
+		rep, ares, err = p.MeasureContext(ctx)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	a := &Analysis{Program: p, AutoPriv: ares, Report: rep}
+	a := &Analysis{Program: p, AutoPriv: ares, Report: rep, HotBlocks: hot}
 	inventory := p.Syscalls()
 
 	// Build the independent (phase, attack) query jobs.
@@ -228,6 +248,7 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 			a.VulnerableShare[i] = 100 * float64(vulnerable[i]) / float64(rep.Total)
 		}
 	}
+	lg.Debug("analysis done", "phases", len(a.Phases), "queries", len(jobs))
 	return a, nil
 }
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rewrite"
+	"privanalyzer/internal/telemetry"
+)
+
+// normalizeJournal reduces a journal to its schedule-independent content:
+// timestamps and worker ids reflect the real execution and legitimately vary
+// between runs, everything else must not. The result is sorted into a
+// canonical order so it compares as a multiset.
+func normalizeJournal(journal []telemetry.Event) []telemetry.Event {
+	out := make([]telemetry.Event, len(journal))
+	copy(out, journal)
+	for i := range out {
+		out[i].T = 0
+		out[i].Worker = 0
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Search != b.Search {
+			return a.Search < b.Search
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		if a.Hash != b.Hash {
+			return a.Hash < b.Hash
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.N < b.N
+	})
+	return out
+}
+
+// TestRecorderGridDeterminism is the flight recorder's contract with the
+// parallel search: over the full program×phase×attack grid, the merged
+// journal's event multiset — everything but timestamps and worker placement —
+// must be identical at Workers 1 and 4. Expansion events are buffered per
+// frontier node and committed only when the deterministic merge keeps the
+// node, so a race past an early exit must leave no trace.
+func TestRecorderGridDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid determinism test; skipped with -short")
+	}
+	ctx := context.Background()
+	for _, name := range programs.Names() {
+		p, err := programs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capture := func(workers int) []telemetry.Event {
+			rec := telemetry.NewRecorder(1 << 20)
+			_, err := AnalyzeContext(ctx, p, Options{
+				Search: rewrite.Options{Workers: workers, Recorder: rec},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Dropped() != 0 {
+				t.Fatalf("%s workers=%d: ring overflowed (%d dropped); raise the test capacity",
+					name, workers, rec.Dropped())
+			}
+			return normalizeJournal(rec.Journal())
+		}
+		seq := capture(1)
+		par := capture(4)
+		if len(seq) != len(par) {
+			t.Errorf("%s: journal sizes differ: %d events at workers=1, %d at workers=4",
+				name, len(seq), len(par))
+			continue
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Errorf("%s: journals diverge at canonical index %d:\nworkers=1: %+v\nworkers=4: %+v",
+					name, i, seq[i], par[i])
+				break
+			}
+		}
+	}
+}
+
+// TestRecorderJournalNonEmpty: a recorded analysis journals every query (one
+// goal or exhaustion story per search id) — the cheap smoke version of the
+// grid test for -short runs.
+func TestRecorderJournalNonEmpty(t *testing.T) {
+	p, err := programs.ByName("passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder(0)
+	a, err := AnalyzeContext(context.Background(), p, Options{
+		Search: rewrite.Options{Recorder: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := 0
+	for _, ph := range a.Phases {
+		queries += len(ph.Verdicts)
+	}
+	searches := map[int32]bool{}
+	for _, ev := range rec.Journal() {
+		searches[ev.Search] = true
+	}
+	if len(searches) != queries {
+		t.Errorf("journal covers %d searches, analysis ran %d queries", len(searches), queries)
+	}
+	for s := 1; s <= queries; s++ {
+		if !searches[int32(s)] {
+			t.Errorf("no events for search id %d", s)
+		}
+	}
+}

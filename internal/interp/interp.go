@@ -13,6 +13,8 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"privanalyzer/internal/caps"
 	"privanalyzer/internal/ir"
@@ -70,6 +72,9 @@ type Options struct {
 	// basic block), reported in Result.Profile. The cost is one slice
 	// increment per instruction; disabled it costs a nil check.
 	Profile bool
+	// Logger, if set, receives a debug record when the run finishes (steps,
+	// elapsed time, exit mode). Nil keeps the interpreter silent.
+	Logger *slog.Logger
 }
 
 // Result summarises a completed run.
@@ -83,6 +88,8 @@ type Result struct {
 	Exited bool
 	// Profile is the hot-block profile; nil unless Options.Profile was set.
 	Profile *BlockProfile
+	// Elapsed is the wall-clock execution time of the run.
+	Elapsed time.Duration
 }
 
 // rkind discriminates runtime values.
@@ -180,14 +187,23 @@ func Run(m *ir.Module, k *vkernel.Kernel, opts Options) (*Result, error) {
 			args[i] = intVal(0)
 		}
 	}
+	began := time.Now()
 	ret, err := vm.call(cf, args)
 	vm.flushSteps()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Steps: vm.steps, Exited: vm.exited, Profile: vm.prof}
+	res := &Result{Steps: vm.steps, Exited: vm.exited, Profile: vm.prof, Elapsed: time.Since(began)}
 	if ret.kind == rInt {
 		res.Ret = ret.i
+	}
+	if opts.Logger != nil {
+		opts.Logger.Debug("interp run done",
+			"component", "interp",
+			"module", m.Name,
+			"steps", res.Steps,
+			"exited", res.Exited,
+			"elapsed", res.Elapsed)
 	}
 	return res, nil
 }

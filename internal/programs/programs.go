@@ -181,31 +181,52 @@ func (p *Program) Measure() (*chronopriv.Report, *autopriv.Result, error) {
 // instruction count feeds the chronopriv_instructions_total counter. With a
 // bare context it behaves exactly like Measure.
 func (p *Program) MeasureContext(ctx context.Context) (*chronopriv.Report, *autopriv.Result, error) {
-	return measure(ctx, p.Module, p)
+	rep, ares, _, err := measure(ctx, p.Module, p, false)
+	return rep, ares, err
 }
 
-func measure(ctx context.Context, m *ir.Module, p *Program) (*chronopriv.Report, *autopriv.Result, error) {
+// MeasureProfiled is MeasureContext with the interpreter's hot-block profile
+// enabled; the profile feeds the counter tracks of the Chrome Trace export
+// (-trace-out). Profiling costs one slice increment per counted instruction,
+// so the plain measurement paths keep it off.
+func (p *Program) MeasureProfiled(ctx context.Context) (*chronopriv.Report, *autopriv.Result, *interp.BlockProfile, error) {
+	return measure(ctx, p.Module, p, true)
+}
+
+func measure(ctx context.Context, m *ir.Module, p *Program, profile bool) (*chronopriv.Report, *autopriv.Result, *interp.BlockProfile, error) {
+	lg := telemetry.Logger(ctx)
 	sp, _ := telemetry.StartSpan(ctx, "autopriv", "program", p.Name)
 	ares, err := autopriv.Analyze(m, autopriv.Options{})
 	sp.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("programs: %s: %w", p.Name, err)
+		return nil, nil, nil, fmt.Errorf("programs: %s: %w", p.Name, err)
 	}
+	lg.Debug("autopriv done",
+		"component", "autopriv",
+		"program", p.Name,
+		"required_permitted", ares.RequiredPermitted.String(),
+		"removals", len(ares.Removals))
 	k := p.NewKernel(ares.RequiredPermitted)
 	rt := chronopriv.NewRuntime(k)
 	sp, _ = telemetry.StartSpan(ctx, "chronopriv", "program", p.Name)
 	res, err := interp.Run(ares.Module, k, interp.Options{
 		MainArgs: p.MainArgs,
 		OnSteps:  rt.OnSteps,
+		Profile:  profile,
+		Logger:   lg,
 	})
 	sp.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("programs: %s: %w", p.Name, err)
+		return nil, nil, nil, fmt.Errorf("programs: %s: %w", p.Name, err)
 	}
+	lg.Debug("chronopriv done",
+		"component", "chronopriv",
+		"program", p.Name,
+		"instructions", res.Steps)
 	reg := telemetry.FromContext(ctx)
 	reg.Counter("chronopriv_runs_total").Add(1)
 	reg.Counter("chronopriv_instructions_total").Add(res.Steps)
-	return rt.Report(p.Name), ares, nil
+	return rt.Report(p.Name), ares, res.Profile, nil
 }
 
 // minPad is the calibration seed: large enough to exceed any phase's fixed
@@ -224,7 +245,7 @@ func calibrate(p *Program, build func(pads []int64) *ir.Module) error {
 		pads[i] = minPad
 	}
 	p.Module = build(pads)
-	rep, _, err := measure(context.Background(), p.Module, p)
+	rep, _, _, err := measure(context.Background(), p.Module, p, false)
 	if err != nil {
 		return fmt.Errorf("calibration seed run: %w", err)
 	}

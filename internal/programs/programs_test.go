@@ -26,7 +26,7 @@ func TestWorkEmitsExactCounts(t *testing.T) {
 		m := b.MustBuild()
 
 		p := &Program{Name: "t", InitialUID: 0, InitialGID: 0}
-		rep, _, err := measure(context.Background(), m, p)
+		rep, _, _, err := measure(context.Background(), m, p, false)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"privanalyzer/internal/telemetry"
 )
 
 // Options bounds and tunes a search. It is the single option surface shared
@@ -46,6 +48,18 @@ type Options struct {
 	// deep copy — callbacks may retain or mutate it freely, from any
 	// goroutine.
 	OnStats func(*SearchStats)
+	// StatsInterval throttles OnStats by wall-clock time: when positive,
+	// snapshots fire at level and chunk boundaries only once the interval has
+	// elapsed since the last one (the final snapshot always fires). Zero
+	// keeps the default cadence — every completed depth level — which the
+	// per-level progress tests rely on.
+	StatsInterval time.Duration
+	// Recorder, if set, captures an event-level journal of the search —
+	// level starts, state expansions, rule firings, cache hits and misses,
+	// dedups, prunes, goal matches — into per-worker flight-recorder rings
+	// (see telemetry.Recorder). Nil disables recording; the hooks then cost
+	// one nil check each (pinned by BenchmarkRecorder).
+	Recorder *telemetry.Recorder
 	// Profile enables the per-rule cost profile: match attempts, firings,
 	// and cumulative/max latency per rule, reported in SearchStats.
 	// RuleProfile. Profiling times every rule-match attempt, which slows
@@ -330,7 +344,7 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	}
 	began := time.Now()
 	res := &SearchResult{StatesExplored: 1, Stats: stats}
-	snapshot := func() {
+	refresh := func() {
 		stats.StatesExplored = res.StatesExplored
 		stats.Elapsed = time.Since(began)
 		stats.RulesSkippedByIndex = e.rulesSkipped.Load()
@@ -343,12 +357,36 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 		if rp != nil {
 			stats.RuleProfile = rp.profile()
 		}
+	}
+	// progress fires OnStats at a level or chunk boundary, throttled by
+	// StatsInterval; refresh work is skipped entirely for throttled calls.
+	// The clock starts at search start, so the first snapshot also waits a
+	// full interval (finish fires unconditionally either way).
+	lastFire := time.Now()
+	progress := func() {
+		if opts.OnStats == nil {
+			return
+		}
+		if opts.StatsInterval > 0 && time.Since(lastFire) < opts.StatsInterval {
+			return
+		}
+		refresh()
+		lastFire = time.Now()
+		opts.OnStats(stats.Clone())
+	}
+	finish := func() (*SearchResult, error) {
+		refresh()
 		if opts.OnStats != nil {
 			opts.OnStats(stats.Clone())
 		}
-	}
-	finish := func() (*SearchResult, error) {
-		snapshot()
+		telemetry.Logger(ctx).Debug("search done",
+			"component", "rewrite",
+			"found", res.Found,
+			"truncated", res.Truncated,
+			"interrupted", res.Interrupted,
+			"states", res.StatesExplored,
+			"depth", stats.Depth,
+			"elapsed", stats.Elapsed)
 		return res, nil
 	}
 
@@ -357,6 +395,11 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	if goal.matches(start, s.Sig) {
 		res.Found = true
 		res.Final = start
+		if e.rec != nil {
+			b := e.rec.Buf(e.search, 0)
+			b.Record(telemetry.EvGoalMatched, 0, start.Hash(), "", 1)
+			b.Flush()
+		}
 		return finish()
 	}
 	if ctx.Err() != nil {
@@ -365,12 +408,12 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	}
 
 	if opts.DepthFirst {
-		if err := e.searchDFS(ctx, start, goal, opts, res, stats); err != nil {
+		if err := e.searchDFS(ctx, start, goal, opts, res, stats, progress); err != nil {
 			return nil, err
 		}
 		return finish()
 	}
-	if err := e.searchBFS(ctx, start, goal, opts, res, stats, snapshot); err != nil {
+	if err := e.searchBFS(ctx, start, goal, opts, res, stats, progress); err != nil {
 		return nil, err
 	}
 	return finish()
@@ -407,10 +450,17 @@ func (v *visitedSet) add(t *Term) bool {
 // expansion is one frontier node's precomputed successor set. Successor
 // generation is pure, so workers compute it ahead of the deterministic
 // merge; goal matching stays in the merge so it runs once per *new* state,
-// never on deduplicated successors.
+// never on deduplicated successors. Recorder events produced during the
+// expansion travel with it — committed to the journal only if the merge
+// keeps the node, discarded with it otherwise (an expansion racing past an
+// early exit leaves no trace, so journals are worker-count-independent) —
+// and cached distinguishes cache answers from fresh expansions so the merge
+// alone inserts into the shared transition cache.
 type expansion struct {
-	steps []Step
-	err   error
+	steps  []Step
+	events []telemetry.Event
+	err    error
+	cached bool
 }
 
 // searchBFS is the level-synchronized parallel breadth-first engine.
@@ -423,15 +473,21 @@ type expansion struct {
 // budget-truncated searches is roughly half the state space). Sequential
 // runs use chunk size 1 and are exactly the classic BFS loop.
 //
-// snapshot refreshes the running stats (and fires OnStats) after each
-// completed level.
-func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, snapshot func()) error {
+// progress fires OnStats (throttled by StatsInterval) after each completed
+// level, and additionally at chunk boundaries when an interval is set.
+func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, progress func()) error {
 	s := e.sys
 	visited := newVisitedSet(e.intern)
 	if !opts.NoDedup {
 		visited.add(start)
 	}
 	frontier := []*node{{state: start}}
+
+	// mb buffers the merge goroutine's own events (level starts, rule
+	// firings, dedups, goal matches) on worker track 0; flushed per chunk
+	// and, for the early-exit returns, by the deferred flush.
+	mb := e.rec.Buf(e.search, 0)
+	defer mb.Flush()
 
 	w := opts.workers()
 	chunk := 1
@@ -451,6 +507,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 		}
 		stats.Frontier = append(stats.Frontier, len(frontier))
 		stats.Depth = depth
+		mb.Record(telemetry.EvLevelStart, depth, 0, "", int64(len(frontier)))
 
 		var nextFrontier []*node
 		for lo := 0; lo < len(frontier); lo += chunk {
@@ -460,8 +517,9 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			// from a shared counter; each expansion lands in its own slot,
 			// so the merge below can replay them in frontier order.
 			exps := make([]expansion, hi-lo)
-			expand := func(i int) {
-				succs, err := e.successors(frontier[i].state)
+			expand := func(i, wk int) {
+				b := e.rec.Buf(e.search, wk)
+				succs, cached, err := e.successorsFor(frontier[i].state, depth, b)
 				if err != nil {
 					exps[i-lo].err = err
 					return
@@ -469,7 +527,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 				for _, st := range succs {
 					st.Result.Hash() // warm the memo outside the merge
 				}
-				exps[i-lo].steps = succs
+				exps[i-lo] = expansion{steps: succs, events: b.Take(), cached: cached}
 			}
 			if cw := min(w, hi-lo); cw <= 1 {
 				if ctx.Err() != nil {
@@ -477,13 +535,14 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 					return nil
 				}
 				for i := lo; i < hi; i++ {
-					expand(i)
+					expand(i, 0)
 				}
 			} else {
 				var next atomic.Int64
 				next.Store(int64(lo))
 				var wg sync.WaitGroup
 				for k := 0; k < cw; k++ {
+					wk := k + 1 // worker track ids; 0 is the merge's
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
@@ -492,7 +551,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 							if i >= hi || ctx.Err() != nil {
 								return
 							}
-							expand(i)
+							expand(i, wk)
 						}
 					}()
 				}
@@ -507,16 +566,26 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			// algorithm, only with the successor sets precomputed, which is
 			// why verdicts, witnesses, and state counts match the Workers=1
 			// run exactly. Exits (goal, budget) land at the same successor
-			// regardless of worker count or chunk boundaries.
+			// regardless of worker count or chunk boundaries. Kept nodes
+			// commit their expansion events and (fresh expansions only)
+			// enter the transition cache here, so journal and cache content
+			// are equally schedule-independent.
 			for i := lo; i < hi; i++ {
 				if exps[i-lo].err != nil {
 					return exps[i-lo].err
 				}
 				n := frontier[i]
-				for _, st := range exps[i-lo].steps {
+				ex := &exps[i-lo]
+				e.rec.Commit(ex.events)
+				if !ex.cached {
+					e.cachePut(n.state, ex.steps)
+				}
+				for _, st := range ex.steps {
 					stats.RuleFirings[st.Rule]++
+					mb.Record(telemetry.EvRuleFired, depth+1, st.Result.Hash(), st.Rule, 0)
 					if !opts.NoDedup && !visited.add(st.Result) {
 						stats.DedupHits++
+						mb.Record(telemetry.EvDedup, depth+1, st.Result.Hash(), "", 0)
 						continue
 					}
 					if opts.MaxStates > 0 && res.StatesExplored >= opts.MaxStates {
@@ -526,6 +595,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 					res.StatesExplored++
 					child := &node{state: st.Result, rule: st.Rule, parent: n, depth: depth + 1}
 					if goal.matches(st.Result, s.Sig) {
+						mb.Record(telemetry.EvGoalMatched, depth+1, st.Result.Hash(), "", int64(res.StatesExplored))
 						res.Found = true
 						res.Final = st.Result
 						res.Witness = child.witness()
@@ -534,22 +604,28 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 					nextFrontier = append(nextFrontier, child)
 				}
 			}
+			mb.Flush()
+			if opts.StatsInterval > 0 {
+				progress()
+			}
 		}
 		frontier = nextFrontier
-		if opts.OnStats != nil {
-			snapshot()
-		}
+		progress()
 	}
 	return nil
 }
 
 // searchDFS is the sequential LIFO engine (the frontier-order ablation).
-func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats) error {
+// Recorder events go straight onto worker track 0 (there is one goroutine);
+// progress fires only when StatsInterval is set, since DFS has no levels.
+func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, progress func()) error {
 	s := e.sys
 	visited := newVisitedSet(e.intern)
 	if !opts.NoDedup {
 		visited.add(start)
 	}
+	mb := e.rec.Buf(e.search, 0)
+	defer mb.Flush()
 	stack := []*node{{state: start}}
 	for len(stack) > 0 {
 		if ctx.Err() != nil {
@@ -561,14 +637,19 @@ func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
 			continue
 		}
-		succs, err := e.successors(n.state)
+		succs, cached, err := e.successorsFor(n.state, n.depth, mb)
 		if err != nil {
 			return err
 		}
+		if !cached {
+			e.cachePut(n.state, succs)
+		}
 		for _, st := range succs {
 			stats.RuleFirings[st.Rule]++
+			mb.Record(telemetry.EvRuleFired, n.depth+1, st.Result.Hash(), st.Rule, 0)
 			if !opts.NoDedup && !visited.add(st.Result) {
 				stats.DedupHits++
+				mb.Record(telemetry.EvDedup, n.depth+1, st.Result.Hash(), "", 0)
 				continue
 			}
 			if opts.MaxStates > 0 && res.StatesExplored >= opts.MaxStates {
@@ -578,12 +659,17 @@ func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			res.StatesExplored++
 			child := &node{state: st.Result, rule: st.Rule, parent: n, depth: n.depth + 1}
 			if goal.matches(st.Result, s.Sig) {
+				mb.Record(telemetry.EvGoalMatched, n.depth+1, st.Result.Hash(), "", int64(res.StatesExplored))
 				res.Found = true
 				res.Final = st.Result
 				res.Witness = child.witness()
 				return nil
 			}
 			stack = append(stack, child)
+		}
+		mb.Flush()
+		if opts.StatsInterval > 0 {
+			progress()
 		}
 	}
 	return nil

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"privanalyzer/internal/telemetry"
 )
 
 // Rule is one rewrite rule (or equation). A rule fires where its LHS matches;
@@ -199,6 +201,9 @@ type engine struct {
 	cache  *TransitionCache
 	rp     *ruleProfiler
 
+	rec    *telemetry.Recorder // flight recorder; nil = recording off
+	search int32               // recorder search id (Recorder.BeginSearch)
+
 	rulesSkipped   atomic.Int64 // rule attempts avoided by the index
 	subtreesPruned atomic.Int64 // subtrees skipped by the bitmap filter
 	cacheHits      atomic.Int64
@@ -213,6 +218,10 @@ func (s *System) engine(opts Options, rp *ruleProfiler) *engine {
 	}
 	if e.intern && !opts.NoCache {
 		e.cache = s.Cache
+	}
+	if opts.Recorder != nil {
+		e.rec = opts.Recorder
+		e.search = opts.Recorder.BeginSearch()
 	}
 	return e
 }
@@ -260,21 +269,54 @@ func (e *engine) normalize(t *Term) (*Term, error) {
 // cache when one is attached. The caller hands the engine canonical states
 // only (normalize output), so cached keys are interned pointers.
 func (e *engine) successors(t *Term) ([]Step, error) {
-	if e.cache != nil {
-		if steps, ok := e.cache.get(t); ok {
-			e.cacheHits.Add(1)
-			return steps, nil
-		}
-		e.cacheMisses.Add(1)
-	}
-	steps, err := e.expand(t, -1)
+	steps, cached, err := e.successorsFor(t, 0, nil)
 	if err != nil {
 		return nil, err
 	}
+	if !cached {
+		e.cachePut(t, steps)
+	}
+	return steps, nil
+}
+
+// successorsFor is the search engines' successor path: like successors, but
+// cache insertion is left to the caller (cachePut), so the deterministic
+// merge — not the racing expansion workers — decides which expansions become
+// shared cache content, keeping later queries' hit/miss events a pure
+// function of the query. Cache-lookup and expansion events are recorded into
+// b (nil when recording is off). cached reports that steps came from the
+// transition cache and must not be re-inserted.
+func (e *engine) successorsFor(t *Term, depth int, b *telemetry.EventBuf) (steps []Step, cached bool, err error) {
+	if e.cache != nil {
+		if steps, ok := e.cache.get(t); ok {
+			e.cacheHits.Add(1)
+			if b != nil {
+				b.Record(telemetry.EvCacheHit, depth, t.Hash(), "", 0)
+				b.Record(telemetry.EvStateExpanded, depth, t.Hash(), "", int64(len(steps)))
+			}
+			return steps, true, nil
+		}
+		e.cacheMisses.Add(1)
+		if b != nil {
+			b.Record(telemetry.EvCacheMiss, depth, t.Hash(), "", 0)
+		}
+	}
+	steps, err = e.expand(t, -1, b, depth)
+	if err != nil {
+		return nil, false, err
+	}
+	if b != nil {
+		b.Record(telemetry.EvStateExpanded, depth, t.Hash(), "", int64(len(steps)))
+	}
+	return steps, false, nil
+}
+
+// cachePut inserts an expanded successor set into the transition cache (no-op
+// without one). Split from successorsFor — see there for why.
+func (e *engine) cachePut(t *Term, steps []Step) {
 	if e.cache != nil {
 		e.cache.put(t, steps)
 	}
-	return steps, nil
 }
 
 // first returns Successors(t)[0] without computing the rest: the walk stops
@@ -291,7 +333,7 @@ func (e *engine) first(t *Term) (Step, bool, error) {
 			return steps[0], true, nil
 		}
 	}
-	steps, err := e.expand(t, 1)
+	steps, err := e.expand(t, 1, nil, 0)
 	if err != nil {
 		return Step{}, false, err
 	}
@@ -312,7 +354,10 @@ var errStopWalk = errors.New("rewrite: stop walk")
 // match inside. limit > 0 stops after that many successors. Timing, when a
 // profiler is attached, is per apply call — one rule tried at one position —
 // so attribution is exact, at the price of two clock reads per attempt.
-func (e *engine) expand(t *Term, limit int) ([]Step, error) {
+// Subtree prunes are recorded into b aggregated — one EvSubtreePruned per
+// expansion, N = pruned positions — bounding recorder volume on prune-heavy
+// walks; b nil means recording off.
+func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([]Step, error) {
 	s := e.sys
 	var steps []Step
 	var seenPtr map[*Term]struct{}
@@ -411,6 +456,9 @@ func (e *engine) expand(t *Term, limit int) ([]Step, error) {
 	err := walk(t, func(nt *Term) *Term { return nt })
 	e.rulesSkipped.Add(skipped)
 	e.subtreesPruned.Add(pruned)
+	if b != nil && pruned > 0 {
+		b.Record(telemetry.EvSubtreePruned, depth, t.Hash(), "", pruned)
+	}
 	if err != nil && err != errStopWalk {
 		return nil, err
 	}

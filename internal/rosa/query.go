@@ -160,6 +160,12 @@ func (q *Query) runOn(ctx context.Context, sys *rewrite.System) (*Result, error)
 	default:
 		res.Verdict = Safe
 	}
+	telemetry.Logger(ctx).Debug("rosa query done",
+		"component", "rosa",
+		"verdict", res.Verdict.metricName(),
+		"states", res.StatesExplored,
+		"witness_len", len(res.Witness),
+		"elapsed", res.Elapsed)
 	// Per-query metrics. A nil registry (no telemetry on ctx) makes these
 	// no-ops; the search itself never touches the registry.
 	reg := telemetry.FromContext(ctx)

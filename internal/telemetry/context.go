@@ -34,12 +34,23 @@ func SpanFromContext(ctx context.Context) *Span {
 // StartSpan opens a span on ctx's registry, parented under ctx's current
 // span, and returns it together with a derived context in which it is the
 // current span. With no registry on ctx it returns (nil, ctx) — the nil span
-// is safe to End — so call sites instrument unconditionally.
+// is safe to End — so call sites instrument unconditionally. When ctx also
+// carries a logger (WithLogger), the span emits "span begin"/"span end"
+// debug records.
 func StartSpan(ctx context.Context, name string, kv ...string) (*Span, context.Context) {
 	r := FromContext(ctx)
 	if r == nil {
 		return nil, ctx
 	}
 	s := r.StartSpan(name, SpanFromContext(ctx), kv...)
+	if lg := loggerOrNil(ctx); lg != nil {
+		s.log = lg
+		args := make([]any, 0, 2+2*len(kv)/2)
+		args = append(args, "span", name)
+		for i := 0; i+1 < len(kv); i += 2 {
+			args = append(args, kv[i], kv[i+1])
+		}
+		lg.Debug("span begin", args...)
+	}
 	return s, WithSpan(ctx, s)
 }

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Structured logging rides the same context carriage as the metrics
+// registry: a *slog.Logger attached with WithLogger is read back by any
+// pipeline layer via Logger, which falls back to Discard — a handler whose
+// Enabled always answers false — so call sites log unconditionally and a run
+// without logging pays one context lookup and one Enabled check per record.
+// Components tag themselves with the conventional "component" attribute
+// (Logger(ctx).With("component", "rosa")); spans additionally emit debug
+// records on begin and end when a logger is present.
+
+type logKey struct{}
+
+// discardHandler drops every record (slog.DiscardHandler arrived in go1.24;
+// this is the same thing for our go1.22 floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Discard is the no-op logger Logger falls back to when the context carries
+// none.
+var Discard = slog.New(discardHandler{})
+
+// WithLogger returns ctx carrying lg; pipeline layers read it back with
+// Logger. A nil lg returns ctx unchanged.
+func WithLogger(ctx context.Context, lg *slog.Logger) context.Context {
+	if lg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, logKey{}, lg)
+}
+
+// Logger returns the logger carried by ctx, or Discard — never nil, so the
+// result can be used unconditionally.
+func Logger(ctx context.Context) *slog.Logger {
+	if lg := loggerOrNil(ctx); lg != nil {
+		return lg
+	}
+	return Discard
+}
+
+// loggerOrNil returns the carried logger without the Discard fallback, for
+// call sites that want to skip work entirely when logging is off.
+func loggerOrNil(ctx context.Context) *slog.Logger {
+	lg, _ := ctx.Value(logKey{}).(*slog.Logger)
+	return lg
+}
+
+// NewLogger builds a logger writing to w at the given level ("debug",
+// "info", "warn", "error" — anything slog.Level.UnmarshalText accepts),
+// rendering records as logfmt-style text or JSON.
+func NewLogger(w io.Writer, level string, jsonOut bool) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("telemetry: bad log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}
+
+// NewCLILogger is the shared -log-level/-log-json flag translation for the
+// four commands: an empty level with jsonOut false means logging is off
+// (nil logger, nil error); -log-json alone defaults the level to info.
+// Output goes to stderr, keeping stdout for the tables the commands print.
+func NewCLILogger(level string, jsonOut bool) (*slog.Logger, error) {
+	if level == "" && !jsonOut {
+		return nil, nil
+	}
+	if level == "" {
+		level = "info"
+	}
+	return NewLogger(os.Stderr, level, jsonOut)
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if got := Logger(ctx); got != Discard {
+		t.Errorf("bare context Logger = %v, want Discard", got)
+	}
+	if loggerOrNil(ctx) != nil {
+		t.Error("bare context loggerOrNil must be nil")
+	}
+	// Discard is safe to use unconditionally and never enabled.
+	Logger(ctx).Debug("dropped", "k", "v")
+	if Discard.Enabled(ctx, slog.LevelError) {
+		t.Error("Discard reports Enabled")
+	}
+
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ctx = WithLogger(ctx, lg)
+	if Logger(ctx) != lg || loggerOrNil(ctx) != lg {
+		t.Error("logger not carried by context")
+	}
+	Logger(ctx).Debug("hello", "component", "test")
+	if !strings.Contains(buf.String(), "msg=hello") || !strings.Contains(buf.String(), "component=test") {
+		t.Errorf("log output %q missing record", buf.String())
+	}
+	// WithLogger(nil) leaves the context unchanged rather than clobbering.
+	if Logger(WithLogger(ctx, nil)) != lg {
+		t.Error("WithLogger(nil) dropped the carried logger")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown")
+	if strings.Contains(buf.String(), "hidden") || !strings.Contains(buf.String(), "shown") {
+		t.Errorf("level filtering wrong: %q", buf.String())
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "debug", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("json record", "n", 3)
+	if !strings.HasPrefix(strings.TrimSpace(buf.String()), "{") ||
+		!strings.Contains(buf.String(), `"msg":"json record"`) {
+		t.Errorf("JSON handler output %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "loud", false); err == nil {
+		t.Error("bad level must error")
+	}
+}
+
+func TestNewCLILogger(t *testing.T) {
+	lg, err := NewCLILogger("", false)
+	if lg != nil || err != nil {
+		t.Errorf("no flags: logger %v err %v, want nil, nil", lg, err)
+	}
+	lg, err = NewCLILogger("debug", false)
+	if lg == nil || err != nil {
+		t.Errorf("-log-level debug: logger %v err %v", lg, err)
+	}
+	// -log-json alone means "log, as JSON, at the default info level".
+	lg, err = NewCLILogger("", true)
+	if lg == nil || err != nil {
+		t.Fatalf("-log-json alone: logger %v err %v", lg, err)
+	}
+	if lg.Enabled(context.Background(), slog.LevelDebug) {
+		t.Error("-log-json alone must default to info, not debug")
+	}
+	if _, err := NewCLILogger("nope", false); err == nil {
+		t.Error("bad level must error")
+	}
+}
+
+// TestSpanLogRecords: with both a registry and a logger on the context, spans
+// narrate themselves as debug records on begin and end.
+func TestSpanLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := NewContext(context.Background(), New())
+	ctx = WithLogger(ctx, slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+
+	sp, ctx := StartSpan(ctx, "rosa.query", "query", "attack1")
+	if sp == nil {
+		t.Fatal("no span with registry attached")
+	}
+	if out := buf.String(); !strings.Contains(out, "span begin") ||
+		!strings.Contains(out, "span=rosa.query") || !strings.Contains(out, "query=attack1") {
+		t.Errorf("begin record missing: %q", out)
+	}
+	child, _ := StartSpan(ctx, "rosa.child")
+	child.End()
+	sp.End()
+	out := buf.String()
+	if strings.Count(out, "span end") != 2 || !strings.Contains(out, "dur=") {
+		t.Errorf("end records missing: %q", out)
+	}
+	// Double End must not emit a second record for the same span.
+	sp.End()
+	if strings.Count(buf.String(), "span end") != 2 {
+		t.Error("second End re-emitted the span end record")
+	}
+
+	// Without a logger the same spans stay silent and nothing breaks.
+	sp2, _ := StartSpan(NewContext(context.Background(), New()), "quiet")
+	sp2.End()
+}

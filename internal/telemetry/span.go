@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 )
@@ -14,6 +15,7 @@ import (
 // root → stage → query hierarchy the JSONL export preserves.
 type Span struct {
 	reg *Registry
+	log *slog.Logger // emits begin/end debug records; nil = silent
 
 	mu     sync.Mutex
 	id     int64
@@ -73,17 +75,23 @@ func (s *Span) SetLabel(key, value string) {
 	s.labels[key] = value
 }
 
-// End finishes the span, fixing its duration. Subsequent Ends are no-ops, as
-// is End on a nil span.
+// End finishes the span, fixing its duration, and — when the span was
+// started from a context carrying a logger — emits a "span end" debug
+// record. Subsequent Ends are no-ops, as is End on a nil span.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.dur = time.Since(s.start)
 		s.ended = true
+	}
+	name, dur, lg := s.name, s.dur, s.log
+	s.mu.Unlock()
+	if first && lg != nil {
+		lg.Debug("span end", "span", name, "dur", dur)
 	}
 }
 

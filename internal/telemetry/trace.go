@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Chrome Trace Event export: the whole capture — span tree, per-worker
+// flight-recorder event tracks, and counter tracks — as one trace.json
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The format is
+// the JSON-object form of the Trace Event specification: a "traceEvents"
+// array of complete ("X"), instant ("i"), counter ("C"), and metadata ("M")
+// events with microsecond timestamps.
+//
+// Track layout: tid 0 carries the span tree (Perfetto nests "X" events by
+// time containment, which matches the parent links since children start
+// after and end before their parents); tid 1+w carries worker w's recorder
+// events as instants; counter tracks render above the threads.
+
+// CounterSample is one timestamped multi-series counter observation; each
+// Values key becomes a stacked series of the track.
+type CounterSample struct {
+	T      time.Time
+	Values map[string]int64
+}
+
+// CounterTrack is one named counter track of the trace (e.g. the interp
+// hot-block profile: one series per hot block, instructions as the value).
+type CounterTrack struct {
+	Name    string
+	Samples []CounterSample
+}
+
+// traceEvent is the wire form of one Trace Event.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object container format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the combined capture as Chrome Trace Event JSON: the
+// registry's spans (nil registry: none), the recorder's per-worker event
+// tracks (nil recorder: none), and the given counter tracks. Timestamps are
+// rebased so the earliest event sits at ts 0.
+func WriteTrace(w io.Writer, reg *Registry, rec *Recorder, counters []CounterTrack) error {
+	var events []traceEvent
+
+	// Establish the common timebase: everything is wall-clock UnixNano
+	// internally, rebased to the earliest instant in the capture.
+	var base int64
+	setBase := func(ns int64) {
+		if base == 0 || ns < base {
+			base = ns
+		}
+	}
+	spans := reg.Spans()
+	for _, s := range spans {
+		setBase(s.record().StartNS)
+	}
+	if rec != nil {
+		setBase(rec.Epoch().UnixNano())
+	}
+	for _, ct := range counters {
+		for _, sm := range ct.Samples {
+			setBase(sm.T.UnixNano())
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	// Thread metadata: name the span track and each worker track.
+	meta := func(name string, tid int, value string) traceEvent {
+		return traceEvent{Name: name, Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": value}}
+	}
+	events = append(events, meta("process_name", 0, "privanalyzer"))
+	events = append(events, meta("thread_name", 0, "pipeline (spans)"))
+	for _, wk := range rec.Workers() {
+		events = append(events, meta("thread_name", 1+wk,
+			"search worker "+strconv.Itoa(wk)))
+	}
+
+	// Spans as complete events on tid 0.
+	for _, s := range spans {
+		rc := s.record()
+		args := map[string]any{"span_id": rc.ID}
+		if rc.Parent != 0 {
+			args["parent"] = rc.Parent
+		}
+		for k, v := range rc.Labels {
+			args[k] = v
+		}
+		events = append(events, traceEvent{
+			Name: rc.Name, Ph: "X",
+			TS: us(rc.StartNS), Dur: float64(rc.DurNS) / 1e3,
+			PID: 1, TID: 0, Args: args,
+		})
+	}
+
+	// Recorder events as thread-scoped instants on the worker tracks.
+	if rec != nil {
+		epoch := rec.Epoch().UnixNano()
+		for _, ev := range rec.Journal() {
+			name := ev.Kind.String()
+			if ev.Rule != "" {
+				name += ":" + ev.Rule
+			}
+			args := map[string]any{
+				"search": ev.Search,
+				"depth":  ev.Depth,
+			}
+			if ev.Hash != 0 {
+				// Hex string: uint64 exceeds JSON's exact-integer range.
+				args["state"] = fmt.Sprintf("%016x", ev.Hash)
+			}
+			if ev.N != 0 {
+				args["n"] = ev.N
+			}
+			events = append(events, traceEvent{
+				Name: name, Ph: "i", S: "t",
+				TS:  us(epoch + ev.T),
+				PID: 1, TID: 1 + int(ev.Worker), Args: args,
+			})
+		}
+	}
+
+	// Counter tracks.
+	for _, ct := range counters {
+		for _, sm := range ct.Samples {
+			vals := make(map[string]any, len(sm.Values))
+			for k, v := range sm.Values {
+				vals[k] = v
+			}
+			events = append(events, traceEvent{
+				Name: ct.Name, Ph: "C",
+				TS:  us(sm.T.UnixNano()),
+				PID: 1, TID: 0, Args: vals,
+			})
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph == "M" || events[j].Ph == "M" {
+			return events[i].Ph == "M" && events[j].Ph != "M"
+		}
+		return events[i].TS < events[j].TS
+	})
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
