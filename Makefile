@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json experiments tables fuzz clean
+.PHONY: all build test test-short test-race test-chaos bench bench-json experiments tables fuzz clean
 
 all: build test
 
@@ -21,6 +21,13 @@ test-short:
 # level-parallel search engine, its callers, and the telemetry registry).
 test-race:
 	$(GO) test -race ./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/telemetry/
+
+# Fault-injection suites under the race detector: panic isolation,
+# escalation transparency, checkpoint/resume equivalence, memory
+# degradation, and the cmd-level signal/checkpoint plumbing (DESIGN.md §9).
+test-chaos:
+	$(GO) test -race -run 'Chaos|Fault|Checkpoint|Resume|Escalat|Degrad|Panic|Cancel|Signal|Shed|Latency' \
+		./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/cmdutil/ ./cmd/rosa/
 
 # Quick full benchmark sweep (one iteration per cell); the default
 # benchtime takes far longer across BenchmarkROSA's ~140 cells.

@@ -10,9 +10,14 @@
 //	autopriv -program sshd -emit
 //	autopriv -file prog.pir
 //	autopriv -program su -log-level debug
+//
+// SIGINT/SIGTERM interrupt the run gracefully between pipeline stages: the
+// facts computed so far are still printed before exit. A second signal kills
+// the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"privanalyzer/internal/autopriv"
+	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/ir"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/telemetry"
@@ -49,6 +55,8 @@ func run(args []string) int {
 	if logger == nil {
 		logger = telemetry.Discard
 	}
+	ctx, stopSignals := cmdutil.SignalContext(context.Background())
+	defer stopSignals()
 
 	var m *ir.Module
 	switch {
@@ -75,6 +83,10 @@ func run(args []string) int {
 		return 2
 	}
 
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "autopriv: interrupted before analysis")
+		return 130
+	}
 	began := time.Now()
 	res, err := autopriv.Analyze(m, autopriv.Options{})
 	if err != nil {
@@ -117,6 +129,10 @@ func run(args []string) int {
 	if *emit {
 		fmt.Println("\ntransformed IR:")
 		fmt.Print(res.Module)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "autopriv: interrupted — facts above are complete")
+		return 130
 	}
 	return 0
 }

@@ -10,15 +10,21 @@
 //	chronopriv -program sshd -trace     # also dump the syscall trace
 //	chronopriv -program passwd -json    # the report as machine-readable JSON
 //	chronopriv -program su -hot 10      # the 10 hottest basic blocks
+//
+// SIGINT/SIGTERM interrupt the run gracefully between pipeline stages: the
+// measurements collected so far are still flushed before exit. A second
+// signal kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"privanalyzer/internal/autopriv"
 	"privanalyzer/internal/chronopriv"
+	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/interp"
 	"privanalyzer/internal/programs"
 	"privanalyzer/internal/report"
@@ -59,6 +65,8 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "chronopriv:", err)
 		return 1
 	}
+	ctx, stopSignals := cmdutil.SignalContext(context.Background())
+	defer stopSignals()
 
 	ares, err := autopriv.Analyze(p.Module, autopriv.Options{})
 	if err != nil {
@@ -70,6 +78,10 @@ func run(args []string) int {
 		"program", p.Name,
 		"required_permitted", ares.RequiredPermitted.String(),
 		"removals", len(ares.Removals))
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "chronopriv: interrupted before measurement")
+		return 130
+	}
 	k := p.NewKernel(ares.RequiredPermitted)
 	k.TraceEnabled = *trace
 	rt := chronopriv.NewRuntime(k)
@@ -110,6 +122,10 @@ func run(args []string) int {
 			}
 			fmt.Printf("  %s(%s) = %d  %s\n", ev.Name, ev.Args, ev.Ret, status)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "chronopriv: interrupted — report above reflects the completed workload")
+		return 130
 	}
 	return 0
 }

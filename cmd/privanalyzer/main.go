@@ -15,6 +15,12 @@
 //	privanalyzer -bench-json BENCH_search.json  # Figure 5-11 grid as JSON
 //	privanalyzer -program all -telemetry-json out.jsonl -prom metrics.txt
 //	privanalyzer -program thttpd -pprof localhost:6060  # live pprof while it runs
+//	privanalyzer -program all -escalate 4096:4  # custom budget-escalation ladder
+//
+// SIGINT/SIGTERM interrupt the analysis gracefully: finished queries keep
+// their verdicts, interrupted ones get ⏱, and the partial tables plus any
+// requested telemetry are flushed before exit. A second signal kills the
+// process immediately.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/core"
 	"privanalyzer/internal/interp"
 	"privanalyzer/internal/programs"
@@ -45,7 +52,9 @@ func run(args []string) (code int) {
 		program     = fs.String("program", "", `program to analyse (one of `+fmt.Sprint(programs.Names())+`, or "all")`)
 		times       = fs.Bool("times", false, "also print per-query ROSA search costs (Figures 5-11)")
 		chart       = fs.Bool("chart", false, "also print ASCII search-cost charts (Figures 5-11)")
-		budget      = fs.Int("budget", 0, "ROSA per-query state budget (0 = default)")
+		budget      = fs.Int("budget", 0, "ROSA per-query state budget — caps the escalation ladder (0 = default)")
+		escalate    = fs.String("escalate", "", `budget escalation: "off", or start:factor[:max] (empty = defaults)`)
+		memBudget   = fs.Int64("mem-budget", 0, "per-query soft memory budget in bytes; breaching sheds the cache, then degrades to ⏱ (0 = none)")
 		timeout     = fs.Duration("timeout", 0, "wall-clock limit for the whole analysis; queries past the deadline get the ⏱ verdict (0 = none)")
 		workers     = fs.Int("workers", 0, "search workers per depth level inside each query (0 = one per CPU, 1 = sequential)")
 		stats       = fs.Bool("stats", false, "also print per-query engine statistics (states/sec, dedup rate, frontier shape)")
@@ -77,8 +86,13 @@ func run(args []string) (code int) {
 		Search: rewrite.Options{
 			MaxStates: *budget, Workers: *workers, Profile: *stats,
 			NoIndex: *noIndex, NoIntern: *noIntern, NoCache: *noCache,
+			MemBudget: *memBudget,
 		},
 		Parallel: *parallel,
+	}
+	if err := cmdutil.ParseEscalate(*escalate, &opts.Search); err != nil {
+		fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+		return 2
 	}
 	ctx := telemetry.WithLogger(context.Background(), logger)
 	var reg *telemetry.Registry
@@ -125,6 +139,8 @@ func run(args []string) (code int) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx, stopSignals := cmdutil.SignalContext(ctx)
+	defer stopSignals()
 
 	if *benchJSON != "" {
 		return runBenchJSON(ctx, *benchJSON, opts)
@@ -202,6 +218,10 @@ func run(args []string) (code int) {
 		}
 		if *traceOut != "" && a.HotBlocks != nil {
 			counterTracks = append(counterTracks, hotBlockTrack(name, a.HotBlocks, began, time.Now()))
+		}
+		for _, qe := range a.Errors {
+			fmt.Fprintln(os.Stderr, "privanalyzer: query fault (isolated, verdict ⏱):", qe.Error())
+			exitCode = 1
 		}
 		if p.Refactored {
 			refactored = append(refactored, a)

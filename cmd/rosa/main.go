@@ -16,6 +16,13 @@
 //	rosa -example -trace-out trace.json   # Chrome Trace / Perfetto export
 //	rosa -example -progress 200ms         # live progress line on stderr
 //	rosa -example -log-level debug        # structured logs on stderr
+//	rosa -query f.rosa -escalate 4096:4   # custom budget-escalation ladder
+//	rosa -query f.rosa -checkpoint-out f.ckpt   # resumable: ^C flushes a checkpoint
+//	rosa -query f.rosa -resume f.ckpt           # continue where the ^C landed
+//
+// SIGINT/SIGTERM interrupt the search gracefully: the partial verdict (⏱),
+// statistics, and — with -checkpoint-out — a checkpoint are flushed before
+// exit; a second signal kills immediately.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"privanalyzer/internal/attacks"
 	"privanalyzer/internal/caps"
+	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/report"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
@@ -61,6 +69,11 @@ func run(args []string) int {
 		module   = fs.Bool("module", false, "print the generated Maude UNIX module source and exit")
 		simulate = fs.Bool("simulate", false, "follow one deterministic execution (Maude's rewrite) instead of searching")
 		explain  = fs.Bool("explain", false, "annotate the witness from the search flight recorder: per-step depth, frontier size, and time-to-discovery")
+		escalate = fs.String("escalate", "", `budget escalation: "off" for one-shot at the full budget, or start:factor[:max] (empty = escalate with defaults)`)
+		memBud   = fs.Int64("mem-budget", 0, "soft memory budget in bytes over interner+cache+frontier: shed the cache on first breach, stop with ⏱ on the second (0 = off)")
+		ckptOut  = fs.String("checkpoint-out", "", "write search checkpoints to this file (atomically; on truncation/interruption, plus every -checkpoint-every levels); removed when the verdict resolves")
+		ckptEvr  = fs.Int("checkpoint-every", 0, "also checkpoint every N completed BFS levels (0 = only on early exit; needs -checkpoint-out)")
+		resume   = fs.String("resume", "", "resume the search from this checkpoint file (must be the same query; verdict and witness match an uninterrupted run)")
 		traceOut = fs.String("trace-out", "", "write the search as Chrome Trace Event JSON to this file (load in ui.perfetto.dev)")
 		progress = fs.Duration("progress", 0, "print a live progress line to stderr at this interval, e.g. 200ms (0 = off)")
 		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
@@ -79,6 +92,8 @@ func run(args []string) int {
 		timeout: *timeout, workers: *workers, stats: *stats,
 		noIndex: *noIndex, noIntern: *noIntern,
 		explain: *explain, traceOut: *traceOut, progress: *progress,
+		escalate: *escalate, memBudget: *memBud,
+		ckptOut: *ckptOut, ckptEvery: *ckptEvr, resume: *resume,
 		logger: logger,
 	}
 
@@ -195,15 +210,20 @@ func simulateQuery(q *rosa.Query) int {
 // reporter carries the search-tuning and observability flags shared by every
 // query mode.
 type reporter struct {
-	timeout  time.Duration
-	workers  int
-	stats    bool
-	noIndex  bool
-	noIntern bool
-	explain  bool
-	traceOut string
-	progress time.Duration
-	logger   *slog.Logger
+	timeout   time.Duration
+	workers   int
+	stats     bool
+	noIndex   bool
+	noIntern  bool
+	explain   bool
+	traceOut  string
+	progress  time.Duration
+	escalate  string
+	memBudget int64
+	ckptOut   string
+	ckptEvery int
+	resume    string
+	logger    *slog.Logger
 }
 
 func (r reporter) report(what string, q *rosa.Query) int {
@@ -215,6 +235,24 @@ func (r reporter) report(what string, q *rosa.Query) int {
 	q.Profile = r.stats
 	q.NoIndex = r.noIndex
 	q.NoIntern = r.noIntern
+	q.MemBudget = r.memBudget
+	if err := cmdutil.ParseEscalate(r.escalate, &q.Options); err != nil {
+		fmt.Fprintln(os.Stderr, "rosa:", err)
+		return 2
+	}
+	if r.ckptOut != "" {
+		q.Checkpoint = cmdutil.FileSink(r.ckptOut, r.ckptEvery)
+	}
+	if r.resume != "" {
+		cp, err := cmdutil.ReadCheckpointFile(r.resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rosa:", err)
+			return 1
+		}
+		q.Resume = cp
+		fmt.Printf("resuming from %s: depth %d, %d states already explored\n\n",
+			r.resume, cp.Depth, cp.StatesExplored)
+	}
 
 	// -explain and -trace-out both need the flight recorder; -trace-out also
 	// needs the span registry for the pipeline track.
@@ -255,6 +293,11 @@ func (r reporter) report(what string, q *rosa.Query) int {
 		ctx, cancel = context.WithTimeout(ctx, r.timeout)
 		defer cancel()
 	}
+	// Graceful SIGINT/SIGTERM: the first signal cancels the search, which
+	// winds down promptly, flushes its checkpoint (when -checkpoint-out is
+	// set), and still prints the partial result below; a second signal kills.
+	ctx, stopSignals := cmdutil.SignalContext(ctx)
+	defer stopSignals()
 	sp, ctx := telemetry.StartSpan(ctx, "rosa.query", "query", what)
 	res, err := q.RunContext(ctx)
 	if r.progress > 0 {
@@ -268,7 +311,28 @@ func (r reporter) report(what string, q *rosa.Query) int {
 		sp.SetLabel("verdict", res.Verdict.String())
 	}
 	sp.End()
-	fmt.Printf("verdict: %s  (%d states explored in %s)\n", res.Verdict, res.StatesExplored, res.Elapsed)
+	attempts := ""
+	if res.Attempts > 1 {
+		attempts = fmt.Sprintf(", %d escalation attempts", res.Attempts)
+	}
+	fmt.Printf("verdict: %s  (%d states explored in %s%s)\n", res.Verdict, res.StatesExplored, res.Elapsed, attempts)
+	if res.Err != nil {
+		fmt.Printf("search fault (isolated, verdict ⏱): %v\n", res.Err)
+	}
+	if res.Degraded {
+		fmt.Printf("memory budget exhausted: search degraded, partial statistics below\n")
+	}
+	if r.ckptOut != "" {
+		if res.Verdict == rosa.Unknown {
+			if _, statErr := os.Stat(r.ckptOut); statErr == nil {
+				fmt.Fprintf(os.Stderr, "rosa: checkpoint written to %s — rerun the same query with -resume %s\n", r.ckptOut, r.ckptOut)
+			}
+		} else {
+			// The verdict resolved; a stale checkpoint would resume a search
+			// that no longer needs resuming. File-exists ⟺ resumable.
+			os.Remove(r.ckptOut)
+		}
+	}
 	if res.Verdict == rosa.Vulnerable {
 		fmt.Printf("\nwitness (attack syscall sequence):\n%s", rewrite.FormatWitness(res.Witness))
 	}

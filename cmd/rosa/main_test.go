@@ -266,3 +266,104 @@ func TestRunTimeoutFlag(t *testing.T) {
 		t.Errorf("expected the worked example's ✓ verdict:\n%s", out)
 	}
 }
+
+// TestRunCheckpointResume is the CLI acceptance path: a budget-starved run
+// with -checkpoint-out leaves a resumable checkpoint behind, and rerunning
+// the same query with -resume finishes with the verdict and witness of a run
+// that was never interrupted. A resolved verdict removes the checkpoint —
+// file-exists ⟺ resumable.
+func TestRunCheckpointResume(t *testing.T) {
+	const queryFile = "../../testdata/figure2.rosa"
+	ckpt := filepath.Join(t.TempDir(), "search.ckpt")
+
+	// Uninterrupted reference: verdict and witness to match.
+	ref, code := capture(t, func() int { return run([]string{"-query", queryFile}) })
+	if code != 0 {
+		t.Fatalf("reference run exit = %d\n%s", code, ref)
+	}
+	if !strings.Contains(ref, "verdict: ✓") {
+		t.Fatalf("reference run not vulnerable:\n%s", ref)
+	}
+
+	// Starved run: ⏱ plus a checkpoint on disk.
+	out, code := capture(t, func() int {
+		return run([]string{"-query", queryFile, "-budget", "2", "-checkpoint-out", ckpt})
+	})
+	if code != 0 {
+		t.Fatalf("starved run exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: ⏱") {
+		t.Fatalf("2-state budget did not truncate:\n%s", out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("truncated run left no checkpoint: %v", err)
+	}
+
+	// Resume at the full budget: same verdict and witness as the reference.
+	out, code = capture(t, func() int {
+		return run([]string{"-query", queryFile, "-resume", ckpt, "-checkpoint-out", ckpt})
+	})
+	if code != 0 {
+		t.Fatalf("resumed run exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "resuming from "+ckpt) {
+		t.Errorf("resumed run did not announce the checkpoint:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict: ✓") {
+		t.Errorf("resumed run verdict differs from uninterrupted run:\n%s", out)
+	}
+	if witness(out) != witness(ref) {
+		t.Errorf("resumed witness:\n%s\nuninterrupted witness:\n%s", witness(out), witness(ref))
+	}
+	if _, err := os.Stat(ckpt); err == nil {
+		t.Error("resolved verdict left a stale checkpoint behind")
+	}
+
+	// A checkpoint from a different query must be refused.
+	out, code = capture(t, func() int {
+		if err := os.WriteFile(ckpt, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return run([]string{"-query", queryFile, "-resume", ckpt})
+	})
+	if code != 1 {
+		t.Errorf("resume from a torn checkpoint exit = %d, want 1\n%s", code, out)
+	}
+}
+
+// witness extracts the witness block for comparison across runs.
+func witness(out string) string {
+	i := strings.Index(out, "witness (attack syscall sequence):")
+	if i < 0 {
+		return ""
+	}
+	return out[i:]
+}
+
+func TestRunEscalateFlag(t *testing.T) {
+	// The ladder is verdict-transparent: an absurdly small start still
+	// resolves the worked example, with the attempts surfaced.
+	out, code := capture(t, func() int { return run([]string{"-example", "-escalate", "2:2"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: ✓") {
+		t.Errorf("escalated run lost the verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "escalation attempts") {
+		t.Errorf("a 2-state start must report escalation attempts:\n%s", out)
+	}
+
+	// -escalate off pins the one-shot search: same verdict, no attempts line.
+	out, code = capture(t, func() int { return run([]string{"-example", "-escalate", "off"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict: ✓") || strings.Contains(out, "escalation attempts") {
+		t.Errorf("-escalate off must one-shot to the same verdict:\n%s", out)
+	}
+
+	if _, code := capture(t, func() int { return run([]string{"-example", "-escalate", "nope"}) }); code != 2 {
+		t.Errorf("bad -escalate exit = %d, want 2", code)
+	}
+}

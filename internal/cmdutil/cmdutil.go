@@ -1,0 +1,130 @@
+// Package cmdutil holds the small pieces the four binaries share for
+// fault-tolerant operation: signal-driven graceful shutdown, the -escalate
+// flag syntax, and checkpoint file I/O. They live here rather than in the
+// engine packages because they are process-level concerns — signals, files,
+// flag grammars — that internal/rewrite and internal/rosa deliberately know
+// nothing about.
+package cmdutil
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"privanalyzer/internal/rewrite"
+)
+
+// SignalContext derives a context cancelled by SIGINT or SIGTERM, the
+// graceful-shutdown trigger every binary shares: on the first signal the
+// context cancels, in-flight searches wind down promptly (emitting their
+// checkpoints and partial stats), and the command flushes its reports before
+// exiting. After the first signal the default handler is restored, so a
+// second signal kills the process immediately — an operator is never trapped
+// behind a slow flush. The returned stop function releases the signal
+// registration; defer it.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// ParseEscalate applies the -escalate flag value to opts. The grammar:
+//
+//	""                 escalation on with supervisor defaults (the default)
+//	"off"              disable: one-shot search at the full budget
+//	"start:factor"     escalate from start states, multiplying by factor
+//	"start:factor:max" as above, capping the ladder at max states
+func ParseEscalate(s string, opts *rewrite.Options) error {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	if s == "off" {
+		opts.NoEscalate = true
+		return nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf(`-escalate: want "off" or start:factor[:max], got %q`, s)
+	}
+	vals := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("-escalate: %q is not a positive integer", p)
+		}
+		vals[i] = v
+	}
+	if vals[1] < 2 {
+		return fmt.Errorf("-escalate: factor must be at least 2, got %d", vals[1])
+	}
+	opts.Escalate.Start = vals[0]
+	opts.Escalate.Factor = vals[1]
+	if len(vals) == 3 {
+		if vals[2] < vals[0] {
+			return fmt.Errorf("-escalate: max %d below start %d", vals[2], vals[0])
+		}
+		opts.Escalate.Max = vals[2]
+	}
+	return nil
+}
+
+// WriteCheckpointFile writes cp to path atomically (temp file + rename in
+// the same directory), so a crash or signal mid-write never leaves a torn
+// checkpoint — the previous complete one survives.
+func WriteCheckpointFile(path string, cp *rewrite.Checkpoint) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := cp.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadCheckpointFile reads and structurally validates a checkpoint file.
+func ReadCheckpointFile(path string) (*rewrite.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := rewrite.ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// FileSink returns a CheckpointConfig writing every emitted checkpoint to
+// path (atomically, each write replacing the last), every everyLevels
+// completed BFS levels plus the engine's early-exit emissions.
+func FileSink(path string, everyLevels int) *rewrite.CheckpointConfig {
+	return &rewrite.CheckpointConfig{
+		EveryLevels: everyLevels,
+		Sink: func(cp *rewrite.Checkpoint) error {
+			return WriteCheckpointFile(path, cp)
+		},
+	}
+}

@@ -34,14 +34,21 @@ import (
 // surface from the CLI down to the engine.
 type Options struct {
 	// Search bounds and tunes each ROSA query's search (budget, depth,
-	// workers, stats callback). Search.MaxStates 0 means DefaultMaxStates;
-	// exceeding the budget (or the AnalyzeContext deadline) yields the
-	// Unknown (⏱) verdict for that query.
+	// workers, stats callback, escalation, memory budget, fault plan).
+	// Search.MaxStates 0 means DefaultMaxStates; the budget is the
+	// escalation supervisor's cap — queries start at Search.Escalate.Start
+	// (default rosa.DefaultEscalationStart) and grow geometrically, unless
+	// Search.NoEscalate pins the legacy one-shot behaviour. Exhausting the
+	// cap (or the AnalyzeContext deadline) yields the Unknown (⏱) verdict
+	// for that query.
 	Search rewrite.Options
 	// MaxStates is the per-query ROSA search budget.
 	//
 	// Deprecated: legacy alias for Search.MaxStates, honored when
-	// Search.MaxStates is 0.
+	// Search.MaxStates is 0. Like Search.MaxStates it now caps the
+	// escalation ladder rather than selecting a one-shot budget, so legacy
+	// callers get escalation defaults (and identical verdicts — escalation
+	// is verdict-transparent; TestLegacyMaxStatesAlias pins this).
 	MaxStates int
 	// Attacks selects which attacks to model; nil means all four.
 	Attacks []attacks.ID
@@ -80,7 +87,33 @@ type PhaseResult struct {
 	// Stats holds each query's full search statistics (states/sec,
 	// frontier shape, rule firings, dedup rate); nil for attacks not run.
 	Stats [4]*rewrite.SearchStats
+	// Errs holds, per attack, the search fault (a *rewrite.SearchError —
+	// recovered worker panic, successor failure, injected fault) that forced
+	// that query's Unknown verdict; nil for clean verdicts. The same faults
+	// are aggregated, with attribution, in Analysis.Errors.
+	Errs [4]error
 }
+
+// QueryError attributes one faulted query within an analysis: which
+// program, phase, and attack hit the fault, and what it was.
+type QueryError struct {
+	// Program is the analysed program's name.
+	Program string
+	// Phase is the phase the faulted query belonged to.
+	Phase string
+	// Attack is the modeled attack the query was checking.
+	Attack attacks.ID
+	// Err is the underlying fault (a *rewrite.SearchError).
+	Err error
+}
+
+// Error renders the fault with its grid coordinates.
+func (e QueryError) Error() string {
+	return fmt.Sprintf("%s %s %s: %v", e.Program, e.Phase, e.Attack, e.Err)
+}
+
+// Unwrap exposes the underlying fault to errors.Is/As chains.
+func (e QueryError) Unwrap() error { return e.Err }
 
 // Analysis is the full PrivAnalyzer output for one program.
 type Analysis struct {
@@ -101,6 +134,12 @@ type Analysis struct {
 	// HotBlocks is the interpreter's hot-block profile for the ChronoPriv
 	// run; nil unless Options.ProfileBlocks was set.
 	HotBlocks *interp.BlockProfile
+	// Errors aggregates every query fault the analysis survived, in job
+	// order (phase-major, attack-minor — deterministic at any parallelism).
+	// Each faulted query's cell reads ⏱ in Phases; a non-empty Errors is
+	// how callers distinguish "budget exhausted" from "query crashed and
+	// was isolated".
+	Errors []QueryError
 }
 
 // Analyze runs the full PrivAnalyzer pipeline on a program. It is the
@@ -113,6 +152,12 @@ func Analyze(p *programs.Program, opts Options) (*Analysis, error) {
 // ctx. A context deadline is the paper's wall-clock analysis limit: ROSA
 // queries still pending when it expires finish promptly with the Unknown
 // (⏱) verdict — the analysis itself still completes and reports them.
+//
+// Queries are fault-isolated: a worker panic or successor error inside one
+// search costs that query its verdict (⏱, with the fault recorded in
+// PhaseResult.Errs and aggregated in Analysis.Errors), never the analysis.
+// Only setup failures — a broken theory, an invalid resume checkpoint —
+// abort with an error.
 //
 // When ctx carries a telemetry.Registry (telemetry.NewContext), the analysis
 // opens a root span per program with child spans per stage — autopriv,
@@ -230,6 +275,10 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 	var vulnerable [4]int64
 	for i, j := range jobs {
 		if errs[i] != nil {
+			// Setup failures (a broken theory, a bad resume checkpoint)
+			// still abort: nothing about the analysis is trustworthy. Search
+			// faults never land here — rosa converts them to Unknown verdicts
+			// with Result.Err set, collected below.
 			return nil, fmt.Errorf("core: %s %s %s: %w",
 				p.Name, a.Phases[j.phase].Spec.Name, j.attack, errs[i])
 		}
@@ -239,16 +288,31 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 		pr.States[j.attack-1] = res.StatesExplored
 		pr.Elapsed[j.attack-1] = res.Elapsed
 		pr.Stats[j.attack-1] = res.Stats
+		if res.Err != nil {
+			// A faulted query was isolated to its ⏱ cell; record the fault
+			// with its grid coordinates and keep the analysis.
+			pr.Errs[j.attack-1] = res.Err
+			a.Errors = append(a.Errors, QueryError{
+				Program: p.Name,
+				Phase:   pr.Spec.Name,
+				Attack:  j.attack,
+				Err:     res.Err,
+			})
+			lg.Warn("query fault isolated",
+				"phase", pr.Spec.Name, "attack", j.attack.String(), "error", res.Err)
+		}
 		if res.Verdict == rosa.Vulnerable {
 			vulnerable[j.attack-1] += pr.Measured.Instructions
 		}
 	}
+	telemetry.FromContext(ctx).Counter("core_query_faults_total").Add(int64(len(a.Errors)))
 	if rep.Total > 0 {
 		for i := range vulnerable {
 			a.VulnerableShare[i] = 100 * float64(vulnerable[i]) / float64(rep.Total)
 		}
 	}
-	lg.Debug("analysis done", "phases", len(a.Phases), "queries", len(jobs))
+	lg.Debug("analysis done",
+		"phases", len(a.Phases), "queries", len(jobs), "faults", len(a.Errors))
 	return a, nil
 }
 
@@ -310,5 +374,8 @@ func (a *Analysis) String() string {
 	}
 	fmt.Fprintf(&b, "vulnerable share per attack: 1=%.2f%% 2=%.2f%% 3=%.2f%% 4=%.2f%%\n",
 		a.VulnerableShare[0], a.VulnerableShare[1], a.VulnerableShare[2], a.VulnerableShare[3])
+	for _, qe := range a.Errors {
+		fmt.Fprintf(&b, "query fault (isolated, verdict ⏱): %s\n", qe.Error())
+	}
 	return b.String()
 }

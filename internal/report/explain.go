@@ -104,6 +104,10 @@ func ExplainWitness(res *rosa.Result, journal []telemetry.Event) string {
 	} else {
 		b.WriteString("(goal event not in journal — recorder ring may have overflowed)\n")
 	}
+	if res.Stats != nil && res.Stats.DroppedEvents > 0 {
+		fmt.Fprintf(&b, "(recorder dropped %d events to ring wrap-around: the journal holds the most recent events only, annotations may be incomplete)\n",
+			res.Stats.DroppedEvents)
+	}
 	fmt.Fprintf(&b, "%4s  %-14s %5s %9s %12s  %s\n",
 		"step", "syscall", "depth", "frontier", "found-at", "state")
 	for i, st := range res.Witness {

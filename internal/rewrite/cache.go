@@ -101,6 +101,27 @@ func (c *TransitionCache) Len() int64 {
 	return c.size.Load()
 }
 
+// Shed drops every cached successor set, releasing the cache's dominant
+// memory while keeping the cache itself usable (counters keep running, later
+// puts repopulate it). The memory-pressure degradation path calls it before
+// falling back to uncached expansion; it returns the number of entries
+// dropped. Nil-safe.
+func (c *TransitionCache) Shed() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.m))
+		s.m = nil
+		s.mu.Unlock()
+	}
+	c.size.Add(-n)
+	return n
+}
+
 // HitRate returns the fraction of lookups answered from the cache.
 func (c *TransitionCache) HitRate() float64 {
 	h, m := c.Hits(), c.Misses()

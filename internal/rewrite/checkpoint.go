@@ -1,0 +1,285 @@
+package rewrite
+
+// Checkpoint/resume for the breadth-first search. Long searches — the
+// paper's ⏱ cells run millions of states — must survive a killed process:
+// a checkpoint serializes the search's complete progress at a level
+// boundary (every enqueued node with its parent link, the frontier order,
+// and the running statistics), and a resumed search replays from that
+// boundary byte-identically. Because the BFS merge is deterministic and
+// successor generation is a pure function of the state, a search resumed
+// from a checkpoint produces the same verdict, witness, and state count as
+// one that was never interrupted.
+//
+// Snapshots are taken at level starts only: the level-synchronized engine
+// mutates its frontier mid-level, but the frontier slice captured at a
+// level start is never written again, so the snapshot costs one stats clone
+// and two slice headers. Materializing the JSON document — rendering every
+// node's state — happens only when a checkpoint is actually written.
+//
+// The node table doubles as the visited set: every state the search visited
+// was enqueued as exactly one node (deduplicated successors never create
+// nodes), so restoring the nodes restores deduplication exactly.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"privanalyzer/internal/telemetry"
+)
+
+// CheckpointVersion is the format version written by this build; Read
+// rejects other versions rather than misinterpreting them.
+const CheckpointVersion = 1
+
+// ErrCheckpoint wraps checkpoint format and validation failures.
+var ErrCheckpoint = errors.New("rewrite: bad checkpoint")
+
+// CheckpointConfig enables periodic checkpointing of a breadth-first
+// search (Options.Checkpoint). Checkpoints are also emitted when the search
+// exits early — state budget, memory degradation, or context cancellation —
+// so an interrupted run always leaves its latest level boundary behind.
+type CheckpointConfig struct {
+	// EveryLevels writes a checkpoint after every N completed depth levels;
+	// 0 writes only on early exit (truncation or interruption).
+	EveryLevels int
+	// Sink receives each materialized checkpoint. A sink error is recorded
+	// in SearchStats.CheckpointFailures and logged — it never fails the
+	// search; losing a checkpoint must not lose the run.
+	Sink func(*Checkpoint) error
+}
+
+// CheckpointNode is one enqueued search node: its state (canonical
+// rendering, ParseTerm syntax), the rule that produced it, and the index of
+// its parent in the node table (-1 for the root). Node order is creation
+// order, so parents always precede children.
+type CheckpointNode struct {
+	Parent int    `json:"parent"`
+	Rule   string `json:"rule,omitempty"`
+	State  string `json:"state"`
+}
+
+// Checkpoint is a breadth-first search frozen at a level boundary. It is
+// self-contained for the search structure (nodes, frontier, statistics) but
+// deliberately does not serialize the rule system or the goal — the caller
+// reconstructs the query (rosa rebuilds it from flags or the query file) and
+// InitHash guards against resuming under a different initial state.
+type Checkpoint struct {
+	// Version is the checkpoint format version (CheckpointVersion).
+	Version int `json:"version"`
+	// InitHash fingerprints the normalized initial state; Resume refuses a
+	// checkpoint whose fingerprint does not match the query's.
+	InitHash uint64 `json:"init_hash"`
+	// Budget is the MaxStates bound of the attempt that wrote the
+	// checkpoint; a resumed run escalates from it rather than restarting the
+	// budget ladder.
+	Budget int `json:"budget"`
+	// Depth is the next level to expand: levels < Depth are complete.
+	Depth int `json:"depth"`
+	// StatesExplored counts distinct states visited when the snapshot was
+	// taken (== len(Nodes) when deduplication is on).
+	StatesExplored int `json:"states_explored"`
+	// DedupHits carries the running dedup counter.
+	DedupHits int `json:"dedup_hits"`
+	// FrontierSizes holds the completed levels' frontier sizes
+	// (SearchStats.Frontier prefix).
+	FrontierSizes []int `json:"frontier_sizes,omitempty"`
+	// RuleFirings carries the running per-rule firing counts.
+	RuleFirings map[string]int `json:"rule_firings,omitempty"`
+	// Nodes is every enqueued node in creation order; Nodes[0] is the root.
+	Nodes []CheckpointNode `json:"nodes"`
+	// Frontier holds the indices (into Nodes) of the next level's states, in
+	// frontier order — the order the deterministic merge will replay.
+	Frontier []int `json:"frontier"`
+}
+
+// Encode serializes the checkpoint as one JSON document.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// ReadCheckpoint parses a checkpoint and verifies its version and structural
+// sanity (parent and frontier indices in range, parents preceding children).
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrCheckpoint, cp.Version, CheckpointVersion)
+	}
+	if len(cp.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrCheckpoint)
+	}
+	for i, n := range cp.Nodes {
+		if n.Parent < -1 || n.Parent >= i {
+			return nil, fmt.Errorf("%w: node %d has parent %d", ErrCheckpoint, i, n.Parent)
+		}
+	}
+	for _, id := range cp.Frontier {
+		if id < 0 || id >= len(cp.Nodes) {
+			return nil, fmt.Errorf("%w: frontier references node %d of %d", ErrCheckpoint, id, len(cp.Nodes))
+		}
+	}
+	return &cp, nil
+}
+
+// validateFor checks that the checkpoint can seed a search over the given
+// normalized initial state and options.
+func (cp *Checkpoint) validateFor(start *Term, opts Options) error {
+	if opts.DepthFirst {
+		return fmt.Errorf("%w: depth-first searches cannot resume", ErrCheckpoint)
+	}
+	if opts.NoDedup {
+		return fmt.Errorf("%w: resume requires visited-state deduplication", ErrCheckpoint)
+	}
+	if cp.InitHash != start.Hash() {
+		return fmt.Errorf("%w: initial state fingerprint %#x does not match query %#x (different query?)",
+			ErrCheckpoint, cp.InitHash, start.Hash())
+	}
+	return nil
+}
+
+// ckptTracker is the engine's live checkpoint state: the node table (every
+// enqueued node, creation order) and the most recent level-start snapshot.
+// Allocated only when Options.Checkpoint or Options.Resume is set, so the
+// default search pays nothing.
+type ckptTracker struct {
+	initHash uint64
+	nodes    []*node
+	ids      map[*node]int
+
+	// Level-start snapshot: the frontier slice (immutable once the level
+	// begins), the node-table length, and a stats clone.
+	snapDepth    int
+	snapFrontier []*node
+	snapNodes    int
+	snapExplored int
+	snapStats    *SearchStats
+}
+
+func newCkptTracker(initHash uint64) *ckptTracker {
+	return &ckptTracker{initHash: initHash, ids: make(map[*node]int)}
+}
+
+// addNode appends one enqueued node to the table.
+func (tk *ckptTracker) addNode(n *node) {
+	if tk == nil {
+		return
+	}
+	tk.ids[n] = len(tk.nodes)
+	tk.nodes = append(tk.nodes, n)
+}
+
+// snapshot records the level boundary about to be expanded.
+func (tk *ckptTracker) snapshot(depth int, frontier []*node, stats *SearchStats, explored int) {
+	if tk == nil {
+		return
+	}
+	tk.snapDepth = depth
+	tk.snapFrontier = frontier
+	tk.snapNodes = len(tk.nodes)
+	tk.snapExplored = explored
+	tk.snapStats = stats.Clone()
+}
+
+// materialize renders the last snapshot as a Checkpoint. Returns nil if no
+// snapshot was taken yet (a search that exited before its first level).
+func (tk *ckptTracker) materialize(budget int) *Checkpoint {
+	if tk == nil || tk.snapStats == nil {
+		return nil
+	}
+	cp := &Checkpoint{
+		Version:        CheckpointVersion,
+		InitHash:       tk.initHash,
+		Budget:         budget,
+		Depth:          tk.snapDepth,
+		StatesExplored: tk.snapExplored,
+		DedupHits:      tk.snapStats.DedupHits,
+		FrontierSizes:  tk.snapStats.Frontier,
+		RuleFirings:    tk.snapStats.RuleFirings,
+		Nodes:          make([]CheckpointNode, tk.snapNodes),
+		Frontier:       make([]int, len(tk.snapFrontier)),
+	}
+	for i, n := range tk.nodes[:tk.snapNodes] {
+		parent := -1
+		if n.parent != nil {
+			parent = tk.ids[n.parent]
+		}
+		cp.Nodes[i] = CheckpointNode{Parent: parent, Rule: n.rule, State: n.state.String()}
+	}
+	for i, n := range tk.snapFrontier {
+		cp.Frontier[i] = tk.ids[n]
+	}
+	return cp
+}
+
+// restore rebuilds the search structures a checkpoint describes: the node
+// table with parent links (witness paths), the visited set, and the frontier
+// in replay order. States are re-parsed and re-canonicalized through the
+// engine's normalize, so resumed successor enumeration is byte-identical to
+// the original run's.
+func (e *engine) restore(cp *Checkpoint, visited *visitedSet, tk *ckptTracker, res *SearchResult, stats *SearchStats) ([]*node, error) {
+	nodes := make([]*node, len(cp.Nodes))
+	for i, cn := range cp.Nodes {
+		t, err := ParseTerm(cn.State)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d: %v", ErrCheckpoint, i, err)
+		}
+		nt, err := e.normalize(t)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d: %v", ErrCheckpoint, i, err)
+		}
+		n := &node{state: nt, rule: cn.Rule}
+		if cn.Parent >= 0 {
+			n.parent = nodes[cn.Parent]
+			n.depth = n.parent.depth + 1
+		}
+		nodes[i] = n
+		visited.add(nt)
+		tk.addNode(n)
+	}
+	frontier := make([]*node, len(cp.Frontier))
+	for i, id := range cp.Frontier {
+		frontier[i] = nodes[id]
+	}
+	res.StatesExplored = cp.StatesExplored
+	stats.DedupHits = cp.DedupHits
+	stats.Frontier = append([]int(nil), cp.FrontierSizes...)
+	if cp.RuleFirings != nil {
+		for name, v := range cp.RuleFirings {
+			stats.RuleFirings[name] = v
+		}
+	}
+	return frontier, nil
+}
+
+// emitCheckpoint materializes the tracker's last snapshot and hands it to
+// the sink. Sink failures (including injected ones) are counted and logged,
+// never propagated: a search that cannot checkpoint still searches.
+func (e *engine) emitCheckpoint(ctx context.Context, tk *ckptTracker, cfg *CheckpointConfig, stats *SearchStats, budget int) {
+	if cfg == nil || cfg.Sink == nil || tk == nil {
+		return
+	}
+	cp := tk.materialize(budget)
+	if cp == nil {
+		return
+	}
+	began := time.Now()
+	err := e.faults.CheckpointWrite()
+	if err == nil {
+		err = cfg.Sink(cp)
+	}
+	if err != nil {
+		stats.CheckpointFailures++
+		telemetry.Logger(ctx).Warn("checkpoint write failed",
+			"component", "rewrite", "depth", cp.Depth, "states", cp.StatesExplored, "error", err)
+		return
+	}
+	stats.CheckpointsWritten++
+	stats.CheckpointElapsed += time.Since(began)
+}

@@ -1,0 +1,251 @@
+package rewrite
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointEncodeDecode: a checkpoint survives the JSON roundtrip
+// field-for-field, and structurally broken documents are rejected.
+func TestCheckpointEncodeDecode(t *testing.T) {
+	cp := &Checkpoint{
+		Version:        CheckpointVersion,
+		InitHash:       0xdeadbeef,
+		Budget:         1000,
+		Depth:          2,
+		StatesExplored: 3,
+		DedupHits:      1,
+		FrontierSizes:  []int{1, 2},
+		RuleFirings:    map[string]int{"inc": 3},
+		Nodes: []CheckpointNode{
+			{Parent: -1, State: "{c(0)}"},
+			{Parent: 0, Rule: "inc", State: "{c(1)}"},
+			{Parent: 1, Rule: "inc", State: "{c(2)}"},
+		},
+		Frontier: []int{2},
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", cp) {
+		t.Errorf("roundtrip changed the checkpoint:\n got %+v\nwant %+v", got, cp)
+	}
+
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", "nope"},
+		{"wrong version", `{"version":99,"nodes":[{"parent":-1,"state":"{c(0)}"}],"frontier":[0]}`},
+		{"no nodes", `{"version":1,"nodes":[],"frontier":[]}`},
+		{"parent after child", `{"version":1,"nodes":[{"parent":1,"state":"a"},{"parent":-1,"state":"b"}],"frontier":[0]}`},
+		{"frontier out of range", `{"version":1,"nodes":[{"parent":-1,"state":"a"}],"frontier":[7]}`},
+	}
+	for _, tc := range bad {
+		if _, err := ReadCheckpoint(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: ReadCheckpoint accepted a broken document", tc.name)
+		}
+	}
+}
+
+// resumeCase is one workload of the resume-equivalence sweep.
+type resumeCase struct {
+	name        string
+	sys         func() *System
+	init        *Term
+	goal        Goal
+	smallBudget int
+	fullBudget  int
+}
+
+func resumeCases() []resumeCase {
+	return []resumeCase{
+		{
+			// Deep chain: the witness crosses hundreds of restored nodes.
+			name:        "counter/found-deep",
+			sys:         counter,
+			init:        NewOp("c", NewInt(0)),
+			goal:        Goal{Pattern: NewOp("c", NewInt(400))},
+			smallBudget: 150, fullBudget: 1000,
+		},
+		{
+			// Branching walk: frontier order and dedup must restore exactly.
+			name:        "tokens/found",
+			sys:         func() *System { return tokens(6) },
+			init:        NewConfig(NewOp("c", NewInt(0)), NewOp("c", NewInt(0)), NewOp("c", NewInt(0))),
+			goal:        Goal{Pattern: NewConfig(NewOp("c", NewInt(6)), NewVar("Z", SortConfig))},
+			smallBudget: 25, fullBudget: 100_000,
+		},
+		{
+			// Safe verdict: the resumed run must exhaust to the same count.
+			name:        "tokens/exhausts",
+			sys:         func() *System { return tokens(5) },
+			init:        NewConfig(NewOp("c", NewInt(0)), NewOp("c", NewInt(0)), NewOp("c", NewInt(0))),
+			goal:        Goal{Pattern: NewOp("nope")},
+			smallBudget: 25, fullBudget: 100_000,
+		},
+	}
+}
+
+// TestCheckpointResumeEquivalence is the subsystem's core guarantee: truncate
+// a search with a checkpoint, resume it at a bigger budget, and the verdict,
+// witness, and state count are byte-identical to a run that was never
+// interrupted — at one worker and at many.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	for _, tc := range resumeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range []int{1, 4} {
+				ref, err := tc.sys().SearchContext(context.Background(), tc.init, tc.goal,
+					Options{Workers: w, MaxStates: tc.fullBudget})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var cp *Checkpoint
+				sink := &CheckpointConfig{Sink: func(c *Checkpoint) error { cp = c; return nil }}
+				trunc, err := tc.sys().SearchContext(context.Background(), tc.init, tc.goal,
+					Options{Workers: w, MaxStates: tc.smallBudget, Checkpoint: sink})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !trunc.Truncated {
+					t.Fatalf("workers=%d: small budget %d did not truncate", w, tc.smallBudget)
+				}
+				if cp == nil {
+					t.Fatal("truncation emitted no checkpoint")
+				}
+				if trunc.Stats.CheckpointsWritten == 0 {
+					t.Error("CheckpointsWritten not counted")
+				}
+
+				// Serialize through the wire format: resumption must survive
+				// the state re-parse, not just in-memory pointer sharing.
+				var buf bytes.Buffer
+				if err := cp.Encode(&buf); err != nil {
+					t.Fatal(err)
+				}
+				wire, err := ReadCheckpoint(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				res, err := tc.sys().SearchContext(context.Background(), tc.init, tc.goal,
+					Options{Workers: w, MaxStates: tc.fullBudget, Resume: wire})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Found != ref.Found || res.Truncated != ref.Truncated ||
+					res.StatesExplored != ref.StatesExplored {
+					t.Errorf("workers=%d: resumed (found=%v truncated=%v states=%d), uninterrupted (%v %v %d)",
+						w, res.Found, res.Truncated, res.StatesExplored,
+						ref.Found, ref.Truncated, ref.StatesExplored)
+				}
+				if fmt.Sprint(witnessRules(res.Witness)) != fmt.Sprint(witnessRules(ref.Witness)) {
+					t.Errorf("workers=%d: resumed witness %v, want %v",
+						w, witnessRules(res.Witness), witnessRules(ref.Witness))
+				}
+				if ref.Found && !res.Final.Equal(ref.Final) {
+					t.Errorf("workers=%d: resumed final state differs", w)
+				}
+				// Witness states, not just rule names: the restored parent
+				// links must reproduce the exact path.
+				for i := range ref.Witness {
+					if i < len(res.Witness) && !res.Witness[i].Result.Equal(ref.Witness[i].Result) {
+						t.Errorf("workers=%d: witness step %d state differs", w, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointPeriodicEmission: EveryLevels writes on the cadence, and the
+// latest checkpoint always snapshots a completed level boundary.
+func TestCheckpointPeriodicEmission(t *testing.T) {
+	var cps []*Checkpoint
+	cfg := &CheckpointConfig{EveryLevels: 3, Sink: func(c *Checkpoint) error {
+		cps = append(cps, c)
+		return nil
+	}}
+	res, err := counter().SearchContext(context.Background(), NewOp("c", NewInt(0)),
+		Goal{Pattern: NewOp("c", NewInt(-1))},
+		Options{Workers: 1, MaxStates: 20, Checkpoint: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expected truncation")
+	}
+	// Levels 3, 6, ..., 18 plus the truncation emit.
+	if len(cps) < 6 {
+		t.Fatalf("%d checkpoints for a 20-level walk at every-3, want ≥6", len(cps))
+	}
+	for i, cp := range cps {
+		if cp.Depth == 0 || len(cp.Nodes) == 0 || len(cp.Frontier) == 0 {
+			t.Errorf("checkpoint %d is empty: depth=%d nodes=%d frontier=%d",
+				i, cp.Depth, len(cp.Nodes), len(cp.Frontier))
+		}
+		if cp.StatesExplored > res.StatesExplored {
+			t.Errorf("checkpoint %d claims %d states, search explored %d",
+				i, cp.StatesExplored, res.StatesExplored)
+		}
+	}
+}
+
+// TestResumeValidation: a checkpoint refuses to seed an incompatible search.
+func TestResumeValidation(t *testing.T) {
+	var cp *Checkpoint
+	sink := &CheckpointConfig{Sink: func(c *Checkpoint) error { cp = c; return nil }}
+	if _, err := counter().SearchContext(context.Background(), NewOp("c", NewInt(0)),
+		Goal{Pattern: NewOp("c", NewInt(-1))},
+		Options{Workers: 1, MaxStates: 10, Checkpoint: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	goal := Goal{Pattern: NewOp("c", NewInt(-1))}
+	cases := []struct {
+		name string
+		init *Term
+		opts Options
+	}{
+		{"different query", NewOp("c", NewInt(7)), Options{Resume: cp}},
+		{"depth-first", NewOp("c", NewInt(0)), Options{Resume: cp, DepthFirst: true}},
+		{"no dedup", NewOp("c", NewInt(0)), Options{Resume: cp, NoDedup: true}},
+	}
+	for _, tc := range cases {
+		if _, err := counter().SearchContext(context.Background(), tc.init, goal, tc.opts); err == nil {
+			t.Errorf("%s: resume accepted an incompatible search", tc.name)
+		}
+	}
+}
+
+// TestParseBracedConfig: configurations render as braced element lists and
+// parse back — the property checkpoint states depend on.
+func TestParseBracedConfig(t *testing.T) {
+	terms := []*Term{
+		NewConfig(),
+		NewConfig(NewOp("c", NewInt(0))),
+		NewConfig(NewOp("c", NewInt(1)), NewOp("c", NewInt(2)), NewOp("q")),
+		NewConfig(NewOp("p", NewInt(1), NewOp("set", NewInt(3), NewInt(4))), NewOp("c", NewInt(-7))),
+	}
+	for _, want := range terms {
+		got, err := ParseTerm(want.String())
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", want.String(), err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("roundtrip %q parsed to %q", want.String(), got.String())
+		}
+	}
+}

@@ -2,14 +2,17 @@ package rewrite
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"privanalyzer/internal/faultinject"
 	"privanalyzer/internal/telemetry"
 )
 
@@ -80,6 +83,55 @@ type Options struct {
 	// System carries one (System.Cache); successor sets are recomputed per
 	// search.
 	NoCache bool
+	// Escalate tunes adaptive budget escalation for callers that run the
+	// query through an escalating supervisor (rosa.Checker): attempts start
+	// at Escalate.Start states and grow geometrically until the verdict
+	// resolves or the cap is hit. SearchContext itself always runs exactly
+	// one attempt at MaxStates — the retry loop lives in the supervisor,
+	// where the shared TransitionCache makes re-exploration cheap. Zero
+	// fields take the supervisor's defaults.
+	Escalate Escalation
+	// NoEscalate forces the legacy one-shot search at the full MaxStates
+	// budget in supervisors that would otherwise escalate. Inverted (like
+	// NoDedup) so the zero value escalates.
+	NoEscalate bool
+	// MemBudget is a soft memory bound, in bytes, over the search's dominant
+	// structures (interner, transition cache, frontier). On the first breach
+	// the engine sheds the transition cache and continues with uncached
+	// expansion (SearchStats.DegradedAt records where); on the second it
+	// stops with a truncated, Degraded result and partial stats. 0 disables
+	// the watch. The estimate is deliberately coarse (see memEstimate): the
+	// budget is a failsafe against runaway frontiers, not an allocator
+	// ledger.
+	MemBudget int64
+	// Checkpoint enables checkpoint emission for breadth-first searches:
+	// periodically (CheckpointConfig.EveryLevels) and whenever the search
+	// exits early on truncation or interruption. Nil disables; ignored by
+	// depth-first searches.
+	Checkpoint *CheckpointConfig
+	// Resume seeds the search from a checkpoint instead of the initial
+	// state. The checkpoint must come from an equivalent query — same
+	// initial state (fingerprint-checked), deduplication on, breadth-first —
+	// and the resumed search then produces the same verdict, witness, and
+	// state count as an uninterrupted run. Nil starts fresh.
+	Resume *Checkpoint
+	// Faults is the deterministic fault-injection plan for chaos tests
+	// (internal/faultinject); nil — the production value — injects nothing.
+	Faults *faultinject.Plan
+}
+
+// Escalation parameterizes adaptive budget escalation (Options.Escalate):
+// MaxStates grows geometrically from Start by Factor up to the cap. Zero
+// fields mean "supervisor default" individually, so callers can pin just the
+// start or just the factor.
+type Escalation struct {
+	// Start is the first attempt's MaxStates budget.
+	Start int
+	// Factor multiplies the budget between attempts.
+	Factor int
+	// Max caps the budget ladder; 0 means the query's MaxStates (or the
+	// supervisor's default budget when that is unset too).
+	Max int
 }
 
 // DefaultOptions returns the default search configuration. It is the
@@ -137,6 +189,22 @@ type SearchStats struct {
 	// InternerSize is the process-global interned-term count when the
 	// snapshot was taken (an occupancy gauge, not a per-search delta).
 	InternerSize int64
+	// DroppedEvents is the attached flight recorder's overwrite count
+	// (telemetry.Recorder.Dropped) at snapshot time. Non-zero means the
+	// journal was truncated to its most recent events — `rosa -explain`
+	// columns may read "-" and journal determinism no longer holds. Zero
+	// when no recorder is attached.
+	DroppedEvents int64
+	// DegradedAt is the StatesExplored count at which the soft memory budget
+	// first forced degradation (transition cache shed, uncached expansion
+	// from then on); 0 when the search never degraded.
+	DegradedAt int
+	// CheckpointsWritten and CheckpointFailures count checkpoint sink
+	// outcomes; failures never abort the search.
+	CheckpointsWritten, CheckpointFailures int
+	// CheckpointElapsed is the wall-clock time spent materializing and
+	// writing checkpoints (included in, not additional to, Elapsed).
+	CheckpointElapsed time.Duration
 }
 
 // RuleCost is one rule's row of the search profile.
@@ -274,6 +342,16 @@ func (st *SearchStats) String() string {
 	if st.InternerSize > 0 {
 		fmt.Fprintf(&b, "interner:         %d terms\n", st.InternerSize)
 	}
+	if st.DroppedEvents > 0 {
+		fmt.Fprintf(&b, "recorder:         %d events dropped (journal truncated to most recent)\n", st.DroppedEvents)
+	}
+	if st.DegradedAt > 0 {
+		fmt.Fprintf(&b, "memory budget:    degraded at %d states (transition cache shed)\n", st.DegradedAt)
+	}
+	if st.CheckpointsWritten > 0 || st.CheckpointFailures > 0 {
+		fmt.Fprintf(&b, "checkpoints:      %d written, %d failed (%s)\n",
+			st.CheckpointsWritten, st.CheckpointFailures, st.CheckpointElapsed.Round(time.Microsecond))
+	}
 	if len(st.Frontier) > 0 {
 		fmt.Fprintf(&b, "frontier by depth:")
 		for d, n := range st.Frontier {
@@ -328,15 +406,37 @@ func (n *node) witness() []Step {
 // five-hour wall clock limit) stops the search promptly and returns a
 // result with Interrupted set and no error; callers map it to the same
 // Unknown verdict as a state-budget truncation.
+//
+// Error contract: a setup failure (equations diverging, a bad Resume
+// checkpoint) returns (nil, err). A fault during the search — a worker
+// panic, a successor error, an injected fault — returns a non-nil result
+// with partial stats and Interrupted set, alongside a *SearchError carrying
+// the state and worker attribution. Supervisors (rosa.Query) map the latter
+// to the Unknown verdict with the error recorded and keep the analysis
+// running.
 func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts Options) (*SearchResult, error) {
 	var rp *ruleProfiler
 	if opts.Profile {
 		rp = newRuleProfiler(s.Rules)
 	}
 	e := s.engine(opts, rp)
+	if opts.Faults != nil && opts.Faults.CancelAtLevel > 0 {
+		// The cancel-mid-level fault needs a context the engine itself can
+		// cancel without touching the caller's (sibling queries sharing the
+		// parent context must be unaffected).
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = cctx
+		e.faultCancel = cancel
+	}
 	start, err := e.normalize(init)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Resume != nil {
+		if err := opts.Resume.validateFor(start, opts); err != nil {
+			return nil, err
+		}
 	}
 	stats := &SearchStats{RuleFirings: make(map[string]int), Workers: opts.workers()}
 	if opts.DepthFirst {
@@ -354,6 +454,7 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 		if e.intern {
 			stats.InternerSize = InternerSize()
 		}
+		stats.DroppedEvents = e.rec.Dropped()
 		if rp != nil {
 			stats.RuleProfile = rp.profile()
 		}
@@ -407,16 +508,29 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 		return finish()
 	}
 
+	var runErr error
 	if opts.DepthFirst {
-		if err := e.searchDFS(ctx, start, goal, opts, res, stats, progress); err != nil {
-			return nil, err
+		runErr = e.searchDFS(ctx, start, goal, opts, res, stats, progress)
+	} else {
+		runErr = e.searchBFS(ctx, start, goal, opts, res, stats, progress)
+	}
+	if runErr != nil {
+		var serr *SearchError
+		if !errors.As(runErr, &serr) {
+			return nil, runErr
 		}
-		return finish()
+		// Fault barrier: the search died but the process (and the partial
+		// stats) survive. Interrupted keeps a caller that ignores the error
+		// from reading the partial result as a completed Safe verdict.
+		res.Interrupted = true
+	} else if res.Interrupted && e.injCancelled {
+		// The interruption was the fault plan's own cancellation, not the
+		// caller's: report it as a search fault so chaos tests (and the
+		// verdict mapping) see the injected failure, not a clean timeout.
+		runErr = &SearchError{Err: faultinject.ErrInjectedCancel}
 	}
-	if err := e.searchBFS(ctx, start, goal, opts, res, stats, progress); err != nil {
-		return nil, err
-	}
-	return finish()
+	r, _ := finish()
+	return r, runErr
 }
 
 // visitedSet is the search's visited-state set. Interned searches key on
@@ -463,6 +577,71 @@ type expansion struct {
 	cached bool
 }
 
+// safeSuccessors is successorsFor behind the supervisor's fault barrier: it
+// consults the fault-injection plan, then converts a panic inside successor
+// expansion — injected or real — into a typed *SearchError carrying the
+// expanded state's interned hash and the worker id. One poisoned state costs
+// its query a verdict, never the process the analysis runs in.
+func (e *engine) safeSuccessors(t *Term, depth, worker int, b *telemetry.EventBuf) (steps []Step, cached bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			steps, cached = nil, false
+			err = &SearchError{StateHash: t.Hash(), Worker: worker, Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := e.faults.BeforeExpansion(t.Hash()); ferr != nil {
+		return nil, false, &SearchError{StateHash: t.Hash(), Worker: worker, Err: ferr}
+	}
+	steps, cached, err = e.successorsFor(t, depth, b)
+	if err != nil {
+		err = &SearchError{StateHash: t.Hash(), Worker: worker, Err: err}
+	}
+	return steps, cached, err
+}
+
+// Rough per-unit byte costs for the memory watch: an interned term (struct,
+// memo fields, intern-table slot), one cached successor entry (key, slice,
+// steps), one frontier node. Deliberately coarse; the watch is a failsafe,
+// not an allocator ledger, and the constants only need the right order of
+// magnitude to trip before the kernel's OOM killer does.
+const (
+	bytesPerInternedTerm = 192
+	bytesPerCachedState  = 256
+	bytesPerFrontierNode = 96
+)
+
+// memEstimate approximates the search's resident bytes across its dominant
+// structures for the Options.MemBudget watch.
+func (e *engine) memEstimate(frontierLen int) int64 {
+	var est int64
+	if e.intern {
+		est += InternerSize() * bytesPerInternedTerm
+	}
+	est += e.cache.Len() * bytesPerCachedState
+	est += int64(frontierLen) * bytesPerFrontierNode
+	return est
+}
+
+// checkMemBudget runs the degradation ladder at a level (or DFS stride)
+// boundary: under budget does nothing; the first breach sheds the transition
+// cache and switches to uncached expansion; a breach after that stops the
+// search with a truncated, degraded result. Reports whether the search must
+// stop.
+func (e *engine) checkMemBudget(opts Options, frontierLen int, res *SearchResult, stats *SearchStats) bool {
+	if opts.MemBudget <= 0 || e.memEstimate(frontierLen) <= opts.MemBudget {
+		return false
+	}
+	if stats.DegradedAt == 0 {
+		stats.DegradedAt = res.StatesExplored
+		e.cache.Shed()
+		e.cache = nil // uncached expansion from here on; cachePut no-ops too
+		return false
+	}
+	res.Truncated = true
+	res.Degraded = true
+	return true
+}
+
 // searchBFS is the level-synchronized parallel breadth-first engine.
 //
 // Each depth level is processed in chunks: workers expand one chunk of
@@ -478,10 +657,39 @@ type expansion struct {
 func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, progress func()) error {
 	s := e.sys
 	visited := newVisitedSet(e.intern)
-	if !opts.NoDedup {
-		visited.add(start)
+	// The checkpoint tracker shadows the search (node table + level-start
+	// snapshots) only when checkpointing or resuming was requested; the
+	// default search pays one nil check per enqueue.
+	var tk *ckptTracker
+	if opts.Checkpoint != nil || opts.Resume != nil {
+		tk = newCkptTracker(start.Hash())
 	}
-	frontier := []*node{{state: start}}
+	var frontier []*node
+	startDepth := 0
+	if cp := opts.Resume; cp != nil {
+		f, err := e.restore(cp, visited, tk, res, stats)
+		if err != nil {
+			return err
+		}
+		frontier = f
+		startDepth = cp.Depth
+	} else {
+		root := &node{state: start}
+		if !opts.NoDedup {
+			visited.add(start)
+		}
+		frontier = []*node{root}
+		tk.addNode(root)
+	}
+
+	// A search that exits early — budget, memory degradation, cancellation —
+	// leaves its latest level boundary behind, so the run is resumable even
+	// when no periodic cadence was configured.
+	defer func() {
+		if res.Truncated || res.Interrupted {
+			e.emitCheckpoint(ctx, tk, opts.Checkpoint, stats, opts.MaxStates)
+		}
+	}()
 
 	// mb buffers the merge goroutine's own events (level starts, rule
 	// firings, dedups, goal matches) on worker track 0; flushed per chunk
@@ -497,7 +705,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 		chunk = w * 4
 	}
 
-	for depth := 0; len(frontier) > 0; depth++ {
+	for depth := startDepth; len(frontier) > 0; depth++ {
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
 			return nil
 		}
@@ -505,9 +713,24 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			res.Interrupted = true
 			return nil
 		}
+		if e.checkMemBudget(opts, len(frontier), res, stats) {
+			return nil
+		}
+		tk.snapshot(depth, frontier, stats, res.StatesExplored)
+		if cfg := opts.Checkpoint; cfg != nil && cfg.EveryLevels > 0 &&
+			depth > startDepth && (depth-startDepth)%cfg.EveryLevels == 0 {
+			e.emitCheckpoint(ctx, tk, cfg, stats, opts.MaxStates)
+		}
 		stats.Frontier = append(stats.Frontier, len(frontier))
 		stats.Depth = depth
 		mb.Record(telemetry.EvLevelStart, depth, 0, "", int64(len(frontier)))
+		if e.faults.CancelLevel(depth) && e.faultCancel != nil {
+			// Fire after the level is announced so the level's own workers
+			// observe the cancellation mid-flight — the race the chaos tests
+			// are shaking out.
+			e.injCancelled = true
+			e.faultCancel()
+		}
 
 		var nextFrontier []*node
 		for lo := 0; lo < len(frontier); lo += chunk {
@@ -519,7 +742,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			exps := make([]expansion, hi-lo)
 			expand := func(i, wk int) {
 				b := e.rec.Buf(e.search, wk)
-				succs, cached, err := e.successorsFor(frontier[i].state, depth, b)
+				succs, cached, err := e.safeSuccessors(frontier[i].state, depth, wk, b)
 				if err != nil {
 					exps[i-lo].err = err
 					return
@@ -602,6 +825,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 						return nil
 					}
 					nextFrontier = append(nextFrontier, child)
+					tk.addNode(child)
 				}
 			}
 			mb.Flush()
@@ -632,12 +856,17 @@ func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			res.Interrupted = true
 			return nil
 		}
+		// DFS has no level boundaries; run the memory watch every 1024
+		// visited states instead.
+		if res.StatesExplored&1023 == 0 && e.checkMemBudget(opts, len(stack), res, stats) {
+			return nil
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
 			continue
 		}
-		succs, cached, err := e.successorsFor(n.state, n.depth, mb)
+		succs, cached, err := e.safeSuccessors(n.state, n.depth, 0, mb)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privanalyzer/internal/faultinject"
 	"privanalyzer/internal/telemetry"
 )
 
@@ -204,6 +205,10 @@ type engine struct {
 	rec    *telemetry.Recorder // flight recorder; nil = recording off
 	search int32               // recorder search id (Recorder.BeginSearch)
 
+	faults       *faultinject.Plan  // fault-injection plan; nil = inject nothing
+	faultCancel  context.CancelFunc // cancels the search ctx for a CancelAtLevel fault
+	injCancelled bool               // a CancelAtLevel fault fired (written by the merge goroutine only)
+
 	rulesSkipped   atomic.Int64 // rule attempts avoided by the index
 	subtreesPruned atomic.Int64 // subtrees skipped by the bitmap filter
 	cacheHits      atomic.Int64
@@ -212,7 +217,7 @@ type engine struct {
 
 // engine builds the successor engine for one search or Successors call.
 func (s *System) engine(opts Options, rp *ruleProfiler) *engine {
-	e := &engine{sys: s, rp: rp, intern: !opts.NoIntern}
+	e := &engine{sys: s, rp: rp, intern: !opts.NoIntern, faults: opts.Faults}
 	if !opts.NoIndex {
 		e.idx = s.index()
 	}
@@ -519,8 +524,16 @@ type SearchResult struct {
 	// Interrupted reports that the context was cancelled or its deadline
 	// expired before the search finished — the wall-clock analogue of
 	// Truncated (the paper's five-hour limit). Callers map both to the
-	// Unknown verdict.
+	// Unknown verdict. Also set when the search failed with a *SearchError,
+	// so a caller that drops the error still cannot mistake the partial
+	// result for a completed Safe verdict.
 	Interrupted bool
+	// Degraded reports that the soft memory budget (Options.MemBudget)
+	// stopped the search after shedding the transition cache failed to bring
+	// the estimate back under budget. Truncated is set alongside it, so the
+	// verdict mapping is unchanged; Degraded distinguishes "out of memory
+	// budget" from "out of state budget" for metrics and reports.
+	Degraded bool
 	// Stats is the final observability snapshot for this search.
 	Stats *SearchStats
 }

@@ -1,0 +1,199 @@
+package rosa
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"privanalyzer/internal/faultinject"
+	"privanalyzer/internal/rewrite"
+)
+
+// Escalation supervisor tests: adaptive budgets must be verdict-transparent
+// (BFS determinism makes a truncated attempt a prefix of the next), the
+// legacy one-shot path must survive behind NoEscalate, and search faults must
+// degrade a query to ⏱ without failing the caller.
+
+// oneShot runs q with escalation off at the given budget cap.
+func oneShot(t *testing.T, q *Query, budget int) *Result {
+	t.Helper()
+	q.NoEscalate = true
+	q.MaxStates = budget
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEscalationVerdictTransparent: a tiny ladder (many attempts) resolves to
+// the same verdict, witness, and state count as the legacy one-shot search.
+func TestEscalationVerdictTransparent(t *testing.T) {
+	cases := []struct {
+		name  string
+		query func() *Query
+	}{
+		{"vulnerable", workedExample},
+		{"safe", func() *Query {
+			q := workedExample()
+			// Without chown the chain collapses (the Safe grid cell).
+			q.Messages = q.Messages[:2]
+			return q
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := oneShot(t, tc.query(), 0)
+			q := tc.query()
+			q.Escalate = rewrite.Escalation{Start: 2, Factor: 2}
+			res, err := q.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.StatesExplored > 2 && res.Attempts < 2 {
+				t.Errorf("attempts = %d: a 2-state start must escalate past %d states",
+					res.Attempts, ref.StatesExplored)
+			}
+			if res.Verdict != ref.Verdict || res.StatesExplored != ref.StatesExplored {
+				t.Errorf("escalated (%s, %d states), one-shot (%s, %d states)",
+					res.Verdict, res.StatesExplored, ref.Verdict, ref.StatesExplored)
+			}
+			if fmt.Sprint(res.Witness) != fmt.Sprint(ref.Witness) {
+				t.Errorf("escalated witness diverged:\n%v\nvs\n%v", res.Witness, ref.Witness)
+			}
+		})
+	}
+}
+
+// TestEscalationDefaultOn: the zero-value query escalates (Attempts counted)
+// and small queries resolve on the first rung.
+func TestEscalationDefaultOn(t *testing.T) {
+	res, err := workedExample().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Vulnerable {
+		t.Fatalf("verdict = %s, want ✓", res.Verdict)
+	}
+	// The worked example is far below DefaultEscalationStart states.
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (resolved on the first rung)", res.Attempts)
+	}
+}
+
+// TestEscalationCapped: a ladder capped below the space yields ⏱ with the
+// exact capped state count, after the expected number of rungs.
+func TestEscalationCapped(t *testing.T) {
+	q := workedExample()
+	q.Escalate = rewrite.Escalation{Start: 2, Factor: 2, Max: 5}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %s at a 5-state cap, want ⏱ (states=%d)", res.Verdict, res.StatesExplored)
+	}
+	// Ladder 2 → 4 → 5: three attempts, and the budget contract is exact.
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (2→4→5)", res.Attempts)
+	}
+	if res.StatesExplored != 5 {
+		t.Errorf("states = %d, want exactly the 5-state cap", res.StatesExplored)
+	}
+}
+
+// TestNoEscalateOneShot: NoEscalate pins the legacy behaviour — one attempt
+// at the full budget.
+func TestNoEscalateOneShot(t *testing.T) {
+	q := workedExample()
+	q.NoEscalate = true
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d with NoEscalate, want 1", res.Attempts)
+	}
+	if res.Verdict != Vulnerable {
+		t.Errorf("verdict = %s, want ✓", res.Verdict)
+	}
+}
+
+// TestLegacyMaxStatesAlias: a caller that only sets MaxStates — the pre-
+// escalation API — still gets an exact budget cap, byte-identical to the
+// explicit one-shot search.
+func TestLegacyMaxStatesAlias(t *testing.T) {
+	ref := oneShot(t, workedExample(), 4)
+	q := workedExample()
+	q.MaxStates = 4 // legacy call site: budget only, escalation defaults
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d: a cap below the ladder start must collapse to one attempt", res.Attempts)
+	}
+	if res.Verdict != ref.Verdict || res.StatesExplored != ref.StatesExplored {
+		t.Errorf("legacy MaxStates run (%s, %d states) diverged from one-shot (%s, %d states)",
+			res.Verdict, res.StatesExplored, ref.Verdict, ref.StatesExplored)
+	}
+	if res.Verdict != Unknown || res.StatesExplored != 4 {
+		t.Errorf("verdict %s after %d states, want ⏱ at exactly 4", res.Verdict, res.StatesExplored)
+	}
+}
+
+// TestQueryFaultIsolated pins the rosa fault contract: an injected worker
+// panic yields (Result{Verdict: ⏱, Err: *SearchError}, nil) — the grid keeps
+// running, the fault is recorded, partial stats survive.
+func TestQueryFaultIsolated(t *testing.T) {
+	q := workedExample()
+	q.Faults = &faultinject.Plan{PanicAtExpansion: 1}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatalf("a search fault must not surface as a query error: %v", err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("verdict = %s, want ⏱", res.Verdict)
+	}
+	var serr *rewrite.SearchError
+	if !errors.As(res.Err, &serr) {
+		t.Fatalf("Result.Err = %v (%T), want a *rewrite.SearchError", res.Err, res.Err)
+	}
+	if serr.Panic == nil {
+		t.Error("SearchError lost the recovered panic value")
+	}
+}
+
+// TestQueryInjectedCancelIsolated: the injected mid-level cancellation maps
+// to ⏱ with ErrInjectedCancel recorded, like any other fault.
+func TestQueryInjectedCancelIsolated(t *testing.T) {
+	q := workedExample()
+	q.Faults = &faultinject.Plan{CancelAtLevel: 1}
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Errorf("verdict = %s, want ⏱", res.Verdict)
+	}
+	if !errors.Is(res.Err, faultinject.ErrInjectedCancel) {
+		t.Errorf("Result.Err = %v, want ErrInjectedCancel", res.Err)
+	}
+}
+
+// TestQueryMemBudgetDegraded: a starved memory budget degrades the query to
+// ⏱ with Degraded set, and escalation does not retry into the same wall.
+func TestQueryMemBudgetDegraded(t *testing.T) {
+	q := workedExample()
+	q.MemBudget = 1
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown || !res.Degraded {
+		t.Errorf("verdict=%s degraded=%v, want ⏱ and degraded", res.Verdict, res.Degraded)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d: a degraded attempt must not escalate", res.Attempts)
+	}
+}

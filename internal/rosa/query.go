@@ -2,6 +2,7 @@ package rosa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -91,8 +92,23 @@ func NewQuery(objects, messages []*rewrite.Term, goal rewrite.Goal) *Query {
 
 // DefaultMaxStates is the search budget standing in for the paper's
 // wall-clock timeout (they used 5 hours; state count is the deterministic
-// equivalent).
+// equivalent). With escalation (the default) this is the ladder's cap, not
+// the first attempt's budget.
 const DefaultMaxStates = 2_000_000
+
+// Escalation supervisor defaults (rewrite.Options.Escalate zero fields):
+// queries start small and grow the budget geometrically, so quick verdicts —
+// the overwhelming majority on the paper's grid — never pay for the full
+// budget's bookkeeping, and slow ones reach the same cap as the legacy
+// one-shot search. BFS determinism makes escalation verdict-transparent: a
+// truncated attempt is a prefix of the next one, so the resolved verdict,
+// witness, and state count are identical to a one-shot run at the cap.
+const (
+	// DefaultEscalationStart is the first attempt's MaxStates budget.
+	DefaultEscalationStart = 1 << 14
+	// DefaultEscalationFactor multiplies the budget between attempts.
+	DefaultEscalationFactor = 8
+)
 
 // Result is the outcome of running a query.
 type Result struct {
@@ -102,11 +118,24 @@ type Result struct {
 	Witness []rewrite.Step
 	// StatesExplored counts distinct configurations visited.
 	StatesExplored int
-	// Elapsed is the wall-clock search time.
+	// Elapsed is the wall-clock search time (all escalation attempts).
 	Elapsed time.Duration
 	// Stats is the search's observability snapshot (states/sec, frontier
-	// per depth, per-rule firings, dedup rate).
+	// per depth, per-rule firings, dedup rate) — the final attempt's.
 	Stats *rewrite.SearchStats
+	// Err records the search fault that forced an Unknown verdict — a
+	// *rewrite.SearchError from a recovered worker panic, a successor
+	// error, or an injected fault. Nil for clean verdicts, including clean
+	// budget/deadline Unknowns. The query-level API reports faults here
+	// rather than as a returned error so one poisoned query degrades to ⏱
+	// while the analysis keeps running.
+	Err error
+	// Attempts counts escalation attempts (1 = resolved on the first
+	// budget, or escalation disabled).
+	Attempts int
+	// Degraded reports that the soft memory budget stopped the search
+	// (Options.MemBudget); the verdict is Unknown.
+	Degraded bool
 }
 
 // InitialState returns the query's initial configuration term.
@@ -135,40 +164,130 @@ func (q *Query) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // runOn executes the query against an explicit rewrite theory (the base
-// system or the §X extended one).
+// system or the §X extended one). It is the escalation supervisor: unless
+// NoEscalate is set, the search runs at a small MaxStates first and the
+// budget grows geometrically (Options.Escalate) until the verdict resolves,
+// the cap is reached, or the context dies. Re-exploration between attempts
+// is one cache probe per already-expanded state, because every attempt
+// shares the System's TransitionCache.
+//
+// Fault contract: a *rewrite.SearchError (worker panic, successor failure,
+// injected fault) yields (Result{Verdict: Unknown, Err: ...}, nil) — the
+// fault is data, not control flow, so callers running query grids keep
+// going. Only setup errors (diverging equations, a bad resume checkpoint)
+// return a non-nil error.
 func (q *Query) runOn(ctx context.Context, sys *rewrite.System) (*Result, error) {
 	opts := q.Options
-	if opts.MaxStates <= 0 {
-		opts.MaxStates = DefaultMaxStates
+	budgetCap := opts.MaxStates
+	if budgetCap <= 0 {
+		budgetCap = DefaultMaxStates
 	}
+	if opts.Escalate.Max > 0 {
+		budgetCap = opts.Escalate.Max
+	}
+	reg := telemetry.FromContext(ctx)
+
+	// Escalation without a Checker-attached cache would recompute every
+	// earlier attempt's expansions; attach a query-private cache so attempts
+	// share the expanded graph. (Keys are interned pointers, so interning
+	// must be on.)
+	if sys.Cache == nil && !opts.NoIntern && !opts.NoCache && !opts.NoEscalate {
+		sys.Cache = rewrite.NewTransitionCache()
+	}
+
+	budget := opts.Escalate.Start
+	if budget <= 0 {
+		budget = DefaultEscalationStart
+	}
+	if factor := opts.Escalate.Factor; factor < 2 {
+		opts.Escalate.Factor = DefaultEscalationFactor
+	}
+	if cp := opts.Resume; cp != nil && cp.Budget > budget {
+		// A resumed run continues the interrupted attempt's budget instead
+		// of restarting the ladder underneath its restored progress.
+		budget = cp.Budget
+	}
+	if opts.NoEscalate || budget > budgetCap {
+		budget = budgetCap
+	}
+
+	init := q.InitialState()
 	start := time.Now()
-	sr, err := sys.SearchContext(ctx, q.InitialState(), q.Goal, opts)
-	if err != nil {
-		return nil, fmt.Errorf("rosa: %w", err)
+	var sr *rewrite.SearchResult
+	var searchErr error
+	attempts := 0
+	for {
+		attempts++
+		opts.MaxStates = budget
+		sr, searchErr = sys.SearchContext(ctx, init, q.Goal, opts)
+		if searchErr != nil || sr == nil {
+			break
+		}
+		// Resolved (found or exhausted), interrupted (nothing to escalate
+		// against — the context is gone), memory-degraded (a bigger state
+		// budget hits the same memory wall), or capped: stop. Only a clean
+		// state-budget truncation below the cap escalates.
+		if sr.Found || !sr.Truncated || sr.Degraded || budget >= budgetCap {
+			break
+		}
+		next := budget * opts.Escalate.Factor
+		if next > budgetCap || next < budget { // cap, and overflow guard
+			next = budgetCap
+		}
+		telemetry.Logger(ctx).Debug("rosa budget escalation",
+			"component", "rosa",
+			"attempt", attempts,
+			"budget", budget,
+			"next_budget", next,
+			"states", sr.StatesExplored)
+		budget = next
+		reg.Counter("rosa_escalations_total").Add(1)
 	}
-	res := &Result{
-		StatesExplored: sr.StatesExplored,
-		Elapsed:        time.Since(start),
-		Stats:          sr.Stats,
-	}
-	switch {
-	case sr.Found:
-		res.Verdict = Vulnerable
-		res.Witness = sr.Witness
-	case sr.Truncated, sr.Interrupted:
+
+	res := &Result{Elapsed: time.Since(start), Attempts: attempts}
+	if searchErr != nil {
+		var serr *rewrite.SearchError
+		if !errors.As(searchErr, &serr) {
+			return nil, fmt.Errorf("rosa: %w", searchErr)
+		}
 		res.Verdict = Unknown
-	default:
-		res.Verdict = Safe
+		res.Err = serr
+		if sr != nil {
+			res.StatesExplored = sr.StatesExplored
+			res.Stats = sr.Stats
+		}
+		reg.Counter("rosa_search_errors_total").Add(1)
+		telemetry.Logger(ctx).Warn("rosa query faulted",
+			"component", "rosa",
+			"error", serr,
+			"states", res.StatesExplored,
+			"elapsed", res.Elapsed)
+	} else {
+		res.StatesExplored = sr.StatesExplored
+		res.Stats = sr.Stats
+		res.Degraded = sr.Degraded
+		switch {
+		case sr.Found:
+			res.Verdict = Vulnerable
+			res.Witness = sr.Witness
+		case sr.Truncated, sr.Interrupted:
+			res.Verdict = Unknown
+		default:
+			res.Verdict = Safe
+		}
+	}
+	if res.Degraded {
+		reg.Counter("rosa_degraded_total").Add(1)
 	}
 	telemetry.Logger(ctx).Debug("rosa query done",
 		"component", "rosa",
 		"verdict", res.Verdict.metricName(),
 		"states", res.StatesExplored,
 		"witness_len", len(res.Witness),
+		"attempts", res.Attempts,
 		"elapsed", res.Elapsed)
 	// Per-query metrics. A nil registry (no telemetry on ctx) makes these
 	// no-ops; the search itself never touches the registry.
-	reg := telemetry.FromContext(ctx)
 	reg.Counter("rosa_queries_total").Add(1)
 	reg.Counter("rosa_verdict_" + res.Verdict.metricName() + "_total").Add(1)
 	reg.Counter("rosa_states_explored_total").Add(int64(res.StatesExplored))

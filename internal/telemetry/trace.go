@@ -89,6 +89,12 @@ func WriteTrace(w io.Writer, reg *Registry, rec *Recorder, counters []CounterTra
 	}
 	events = append(events, meta("process_name", 0, "privanalyzer"))
 	events = append(events, meta("thread_name", 0, "pipeline (spans)"))
+	if d := rec.Dropped(); d > 0 {
+		// Truncation indicator in the trace header: the journal below holds
+		// only the most recent events, so viewers know gaps are real.
+		events = append(events, traceEvent{Name: "process_labels", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]any{"labels": "recorder dropped " + strconv.FormatInt(d, 10) + " events"}})
+	}
 	for _, wk := range rec.Workers() {
 		events = append(events, meta("thread_name", 1+wk,
 			"search worker "+strconv.Itoa(wk)))
