@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-chaos bench bench-json experiments tables fuzz clean
+.PHONY: all build test test-short test-race test-chaos bench bench-json experiments tables serve fuzz clean
 
 all: build test
 
@@ -45,6 +45,11 @@ experiments:
 
 tables:
 	$(GO) run ./cmd/privanalyzer -tables
+
+# The long-lived analysis server (API.md): REST+JSON on 127.0.0.1:7177,
+# per-program checkers held hot across requests.
+serve:
+	$(GO) run ./cmd/privanalyzerd
 
 # Short fuzzing passes over every parser.
 fuzz:

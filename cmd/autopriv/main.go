@@ -37,17 +37,17 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("autopriv", flag.ContinueOnError)
+	var logf cmdutil.LogFlags
+	logf.Register(fs)
 	var (
-		program  = fs.String("program", "", "modeled program to analyse ("+fmt.Sprint(programs.Names())+")")
-		file     = fs.String("file", "", "IR text file to analyse instead of a modeled program")
-		emit     = fs.Bool("emit", false, "print the transformed IR")
-		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
-		logJSON  = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
+		program = fs.String("program", "", "modeled program to analyse ("+fmt.Sprint(programs.Names())+")")
+		file    = fs.String("file", "", "IR text file to analyse instead of a modeled program")
+		emit    = fs.Bool("emit", false, "print the transformed IR")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	logger, err := logf.Logger()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autopriv:", err)
 		return 2

@@ -37,13 +37,13 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("chronopriv", flag.ContinueOnError)
+	var logf cmdutil.LogFlags
+	logf.Register(fs)
 	var (
 		program  = fs.String("program", "", "program to measure ("+fmt.Sprint(programs.Names())+")")
 		trace    = fs.Bool("trace", false, "print the kernel syscall trace")
 		jsonOut  = fs.Bool("json", false, "print the report as JSON instead of the table")
 		hotCount = fs.Int("hot", 0, "also print the N hottest basic blocks by instructions executed (0 = off)")
-		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
-		logJSON  = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,7 +52,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	logger, err := logf.Logger()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronopriv:", err)
 		return 2

@@ -11,6 +11,8 @@
 //	privanalyzer -program su -times       # the Figure 5-11 search costs
 //	privanalyzer -program su -budget 10000
 //	privanalyzer -program su -stats       # per-query engine statistics
+//	privanalyzer -program su -json        # the api.AnalyzeResponse wire form
+//	                                      # (byte-compatible with privanalyzerd)
 //	privanalyzer -program all -timeout 1m # wall-clock limit; late queries get ⏱
 //	privanalyzer -bench-json BENCH_search.json  # Figure 5-11 grid as JSON
 //	privanalyzer -program all -telemetry-json out.jsonl -prom metrics.txt
@@ -32,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"privanalyzer/internal/api"
 	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/core"
 	"privanalyzer/internal/interp"
@@ -47,53 +50,49 @@ func main() {
 
 func run(args []string) (code int) {
 	fs := flag.NewFlagSet("privanalyzer", flag.ContinueOnError)
+	var search cmdutil.SearchFlags
+	var logf cmdutil.LogFlags
+	search.Register(fs)
+	logf.Register(fs)
 	var (
 		tables      = fs.Bool("tables", false, "print the static tables (I, II, IV) and exit")
 		program     = fs.String("program", "", `program to analyse (one of `+fmt.Sprint(programs.Names())+`, or "all")`)
 		times       = fs.Bool("times", false, "also print per-query ROSA search costs (Figures 5-11)")
 		chart       = fs.Bool("chart", false, "also print ASCII search-cost charts (Figures 5-11)")
-		budget      = fs.Int("budget", 0, "ROSA per-query state budget — caps the escalation ladder (0 = default)")
-		escalate    = fs.String("escalate", "", `budget escalation: "off", or start:factor[:max] (empty = defaults)`)
-		memBudget   = fs.Int64("mem-budget", 0, "per-query soft memory budget in bytes; breaching sheds the cache, then degrades to ⏱ (0 = none)")
-		timeout     = fs.Duration("timeout", 0, "wall-clock limit for the whole analysis; queries past the deadline get the ⏱ verdict (0 = none)")
-		workers     = fs.Int("workers", 0, "search workers per depth level inside each query (0 = one per CPU, 1 = sequential)")
-		stats       = fs.Bool("stats", false, "also print per-query engine statistics (states/sec, dedup rate, frontier shape)")
 		check       = fs.Bool("check", false, "compare results against the paper's table cells")
 		diff        = fs.String("diff", "", `compare two programs' postures, e.g. "su,suRef"`)
 		parallel    = fs.Bool("parallel", false, "additionally fan the independent queries out over the CPUs")
 		experiments = fs.Bool("experiments", false, "run the full evaluation and print the paper-vs-measured summary")
 		benchJSON   = fs.String("bench-json", "", "run the Figure 5-11 query grid and write per-query benchmark records to this file")
+		jsonOut     = fs.Bool("json", false, "print each analysis as api.AnalyzeResponse JSON (the privanalyzerd wire schema) instead of tables")
 		noIndex     = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
 		noIntern    = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
 		noCache     = fs.Bool("no-cache", false, "disable the cross-query transition cache (ablation)")
 		telemJSON   = fs.String("telemetry-json", "", "write the run's telemetry (spans and metrics) as JSONL to this file")
 		promPath    = fs.String("prom", "", "write the run's metrics in Prometheus text exposition format to this file")
-		traceOut    = fs.String("trace-out", "", "write the run as Chrome Trace Event JSON — spans, per-worker search events, hot-block counters — to this file (load in ui.perfetto.dev)")
 		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof plus /healthz, /readyz, and /metrics on this address while the run executes (e.g. "localhost:6060"; off by default)`)
-		logLevel    = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
-		logJSON     = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	traceOut := &search.TraceOut
+	timeout := &search.Timeout
+	stats := &search.Stats
 
-	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	logger, err := logf.Logger()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 		return 2
 	}
-	opts := core.Options{
-		Search: rewrite.Options{
-			MaxStates: *budget, Workers: *workers, Profile: *stats,
-			NoIndex: *noIndex, NoIntern: *noIntern, NoCache: *noCache,
-			MemBudget: *memBudget,
-		},
-		Parallel: *parallel,
-	}
-	if err := cmdutil.ParseEscalate(*escalate, &opts.Search); err != nil {
+	searchOpts, err := search.ToSearchOptions()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "privanalyzer:", err)
 		return 2
 	}
+	searchOpts.NoIndex = *noIndex
+	searchOpts.NoIntern = *noIntern
+	searchOpts.NoCache = *noCache
+	opts := core.Options{Search: searchOpts, Parallel: *parallel}
 	ctx := telemetry.WithLogger(context.Background(), logger)
 	var reg *telemetry.Registry
 	if *telemJSON != "" || *promPath != "" || *traceOut != "" {
@@ -234,6 +233,17 @@ func run(args []string) (code int) {
 				exitCode = 1
 			}
 		}
+	}
+	if *jsonOut {
+		// The wire schema, byte-for-byte what privanalyzerd returns for the
+		// same request — one document per analysed program.
+		for _, a := range append(original, refactored...) {
+			if err := api.Encode(os.Stdout, api.FromAnalysis(a, *stats)); err != nil {
+				fmt.Fprintln(os.Stderr, "privanalyzer:", err)
+				return 1
+			}
+		}
+		return exitCode
 	}
 	if len(original) > 0 {
 		fmt.Println(report.EfficacyTable("TABLE III: Security Efficacy Results", original))

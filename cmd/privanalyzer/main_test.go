@@ -292,3 +292,50 @@ func TestRunBenchJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestRunJSON pins the -json contract: stdout is exactly the
+// api.AnalyzeResponse wire form, nothing else — a script can pipe it
+// straight into a parser, and the bytes match what privanalyzerd returns
+// for the same program (the serving determinism tests hold the other end).
+func TestRunJSON(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-program", "su", "-json"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out)
+	}
+	var resp struct {
+		APIVersion string `json:"api_version"`
+		Program    string `json:"program"`
+		Phases     []struct {
+			Name    string `json:"name"`
+			Queries []struct {
+				Attack  int    `json:"attack"`
+				Verdict string `json:"verdict"`
+				States  int    `json:"states"`
+			} `json:"queries"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("-json output is not one JSON document: %v\n%s", err, out)
+	}
+	if resp.APIVersion != "v1" || resp.Program != "su" {
+		t.Errorf("header = %+v", resp)
+	}
+	if len(resp.Phases) == 0 {
+		t.Fatal("no phases in -json output")
+	}
+	for _, ph := range resp.Phases {
+		for _, q := range ph.Queries {
+			if q.Attack < 1 || q.Attack > 4 {
+				t.Errorf("phase %s: attack %d out of range", ph.Name, q.Attack)
+			}
+			switch q.Verdict {
+			case "safe", "vulnerable", "unknown":
+			default:
+				t.Errorf("phase %s: verdict %q", ph.Name, q.Verdict)
+			}
+		}
+	}
+	if strings.Contains(out, "TABLE") {
+		t.Error("-json output still contains the human tables")
+	}
+}

@@ -5,19 +5,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 
+	"privanalyzer/internal/server"
 	"privanalyzer/internal/telemetry"
 )
 
-// servePprof starts the diagnostics server on addr in the background: the
-// net/http/pprof endpoints plus /healthz (process liveness), /readyz
-// (analysis accepting work — identical here, but split so orchestration
-// probes have distinct endpoints), and /metrics (the run's registry in
-// Prometheus text exposition format; empty when no -telemetry flags enabled
-// a registry). The pprof import lives in this file so the endpoints exist
-// only behind the explicit -pprof flag; nothing listens by default.
+// servePprof starts the diagnostics listener on addr in the background —
+// server.RegisterDiagnostics' surface (net/http/pprof, /healthz, /readyz,
+// /metrics), the same endpoints privanalyzerd serves, so probes written
+// against either binary work on both. A one-shot CLI run is always ready,
+// so /readyz mirrors /healthz here. The endpoints exist only behind the
+// explicit -pprof flag; nothing listens by default.
 //
 // Binding errors surface synchronously so a bad address fails the run
 // instead of silently profiling nothing; the returned string is the bound
@@ -29,23 +28,7 @@ func servePprof(addr string, reg *telemetry.Registry) (string, error) {
 		return "", err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ok := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	}
-	mux.HandleFunc("/healthz", ok)
-	mux.HandleFunc("/readyz", ok)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WriteProm(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	server.RegisterDiagnostics(mux, reg, nil)
 	go func() {
 		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "privanalyzer: pprof server:", err)

@@ -51,16 +51,16 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("rosa", flag.ContinueOnError)
+	var search cmdutil.SearchFlags
+	var logf cmdutil.LogFlags
+	search.Register(fs)
+	logf.Register(fs)
 	var (
 		attack   = fs.Int("attack", 1, "attack to model (1-4, Table I)")
 		privsArg = fs.String("privs", "", `permitted privilege set, e.g. "CapSetuid,CapChown" (empty for none)`)
 		uidArg   = fs.String("uid", "1000,1000,1000", "real,effective,saved uid")
 		gidArg   = fs.String("gid", "1000,1000,1000", "real,effective,saved gid")
 		syscalls = fs.String("syscalls", "open,chown,setuid,setresuid,setgid,setresgid,kill,socket,bind,connect", "comma-separated syscall inventory")
-		budget   = fs.Int("budget", 0, "state budget (0 = default)")
-		timeout  = fs.Duration("timeout", 0, "wall-clock search limit; an expired deadline yields the ⏱ verdict (0 = none)")
-		workers  = fs.Int("workers", 0, "search workers per depth level (0 = one per CPU, 1 = sequential)")
-		stats    = fs.Bool("stats", false, "print the search statistics (states/sec, frontier shape, dedup rate) and the per-rule cost profile")
 		noIndex  = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
 		noIntern = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
 		example  = fs.Bool("example", false, "run the paper's worked example (Figures 2-4) instead")
@@ -69,30 +69,24 @@ func run(args []string) int {
 		module   = fs.Bool("module", false, "print the generated Maude UNIX module source and exit")
 		simulate = fs.Bool("simulate", false, "follow one deterministic execution (Maude's rewrite) instead of searching")
 		explain  = fs.Bool("explain", false, "annotate the witness from the search flight recorder: per-step depth, frontier size, and time-to-discovery")
-		escalate = fs.String("escalate", "", `budget escalation: "off" for one-shot at the full budget, or start:factor[:max] (empty = escalate with defaults)`)
-		memBud   = fs.Int64("mem-budget", 0, "soft memory budget in bytes over interner+cache+frontier: shed the cache on first breach, stop with ⏱ on the second (0 = off)")
 		ckptOut  = fs.String("checkpoint-out", "", "write search checkpoints to this file (atomically; on truncation/interruption, plus every -checkpoint-every levels); removed when the verdict resolves")
 		ckptEvr  = fs.Int("checkpoint-every", 0, "also checkpoint every N completed BFS levels (0 = only on early exit; needs -checkpoint-out)")
 		resume   = fs.String("resume", "", "resume the search from this checkpoint file (must be the same query; verdict and witness match an uninterrupted run)")
-		traceOut = fs.String("trace-out", "", "write the search as Chrome Trace Event JSON to this file (load in ui.perfetto.dev)")
 		progress = fs.Duration("progress", 0, "print a live progress line to stderr at this interval, e.g. 200ms (0 = off)")
-		logLevel = fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
-		logJSON  = fs.Bool("log-json", false, "render structured logs as JSON (implies -log-level info when unset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	logger, err := telemetry.NewCLILogger(*logLevel, *logJSON)
+	logger, err := logf.Logger()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rosa:", err)
 		return 2
 	}
 	rep := reporter{
-		timeout: *timeout, workers: *workers, stats: *stats,
+		search:  search,
 		noIndex: *noIndex, noIntern: *noIntern,
-		explain: *explain, traceOut: *traceOut, progress: *progress,
-		escalate: *escalate, memBudget: *memBud,
+		explain: *explain, progress: *progress,
 		ckptOut: *ckptOut, ckptEvery: *ckptEvr, resume: *resume,
 		logger: logger,
 	}
@@ -112,9 +106,6 @@ func run(args []string) int {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err) // already prefixed "rosa:"
 			return 1
-		}
-		if *budget != 0 {
-			q.MaxStates = *budget
 		}
 		if *maude {
 			fmt.Println(q.MaudeSearch(""))
@@ -150,7 +141,6 @@ func run(args []string) int {
 		RGID: gid[0], EGID: gid[1], SGID: gid[2],
 	}
 	q := attacks.Build(id, strings.Split(*syscalls, ","), creds, privs)
-	q.MaxStates = *budget
 	return rep.report(id.Description(), q)
 }
 
@@ -210,16 +200,11 @@ func simulateQuery(q *rosa.Query) int {
 // reporter carries the search-tuning and observability flags shared by every
 // query mode.
 type reporter struct {
-	timeout   time.Duration
-	workers   int
-	stats     bool
+	search    cmdutil.SearchFlags
 	noIndex   bool
 	noIntern  bool
 	explain   bool
-	traceOut  string
 	progress  time.Duration
-	escalate  string
-	memBudget int64
 	ckptOut   string
 	ckptEvery int
 	resume    string
@@ -229,17 +214,14 @@ type reporter struct {
 func (r reporter) report(what string, q *rosa.Query) int {
 	fmt.Printf("query: %s\n", what)
 	fmt.Printf("initial state: %s\n\n", q.InitialState())
-	if r.workers != 0 {
-		q.Workers = r.workers
-	}
-	q.Profile = r.stats
-	q.NoIndex = r.noIndex
-	q.NoIntern = r.noIntern
-	q.MemBudget = r.memBudget
-	if err := cmdutil.ParseEscalate(r.escalate, &q.Options); err != nil {
+	// The shared flag surface reaches the query through the wire schema's
+	// conversion point — identical semantics to a privanalyzerd request.
+	if err := r.search.Params().Apply(q); err != nil {
 		fmt.Fprintln(os.Stderr, "rosa:", err)
 		return 2
 	}
+	q.NoIndex = r.noIndex
+	q.NoIntern = r.noIntern
 	if r.ckptOut != "" {
 		q.Checkpoint = cmdutil.FileSink(r.ckptOut, r.ckptEvery)
 	}
@@ -257,17 +239,18 @@ func (r reporter) report(what string, q *rosa.Query) int {
 	// -explain and -trace-out both need the flight recorder; -trace-out also
 	// needs the span registry for the pipeline track.
 	var rec *telemetry.Recorder
-	if r.explain || r.traceOut != "" {
+	if r.explain || r.search.TraceOut != "" {
 		rec = telemetry.NewRecorder(0)
 		q.Recorder = rec
 	}
 	var reg *telemetry.Registry
 	ctx := context.Background()
-	if r.traceOut != "" {
+	if r.search.TraceOut != "" {
 		reg = telemetry.New()
 		ctx = telemetry.NewContext(ctx, reg)
 	}
 	ctx = telemetry.WithLogger(ctx, r.logger)
+	progressShown := false
 	if r.progress > 0 {
 		q.StatsInterval = r.progress
 		budget := q.MaxStates
@@ -275,6 +258,13 @@ func (r reporter) report(what string, q *rosa.Query) int {
 			budget = rosa.DefaultMaxStates
 		}
 		q.OnStats = func(st *rewrite.SearchStats) {
+			// A search that resolves before its first interval tick never
+			// painted a line; printing the unconditional final snapshot
+			// would leave a stale one-off progress line behind the verdict.
+			if st.Final && !progressShown {
+				return
+			}
+			progressShown = true
 			frontier := 0
 			if len(st.Frontier) > 0 {
 				frontier = st.Frontier[len(st.Frontier)-1]
@@ -288,9 +278,9 @@ func (r reporter) report(what string, q *rosa.Query) int {
 				hitRate, 100*float64(st.StatesExplored)/float64(budget))
 		}
 	}
-	if r.timeout > 0 {
+	if r.search.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		ctx, cancel = context.WithTimeout(ctx, r.search.Timeout)
 		defer cancel()
 	}
 	// Graceful SIGINT/SIGTERM: the first signal cancels the search, which
@@ -300,7 +290,7 @@ func (r reporter) report(what string, q *rosa.Query) int {
 	defer stopSignals()
 	sp, ctx := telemetry.StartSpan(ctx, "rosa.query", "query", what)
 	res, err := q.RunContext(ctx)
-	if r.progress > 0 {
+	if progressShown {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
@@ -342,15 +332,15 @@ func (r reporter) report(what string, q *rosa.Query) int {
 			fmt.Printf("(flight recorder overflowed: %d oldest events dropped)\n", n)
 		}
 	}
-	if r.stats && res.Stats != nil {
+	if r.search.Stats && res.Stats != nil {
 		fmt.Printf("\n%s", report.SearchStatsText(res.Stats))
 	}
-	if r.traceOut != "" {
-		if err := writeTrace(r.traceOut, reg, rec); err != nil {
+	if r.search.TraceOut != "" {
+		if err := writeTrace(r.search.TraceOut, reg, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "rosa:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "trace: wrote %s (load in ui.perfetto.dev)\n", r.traceOut)
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (load in ui.perfetto.dev)\n", r.search.TraceOut)
 	}
 	return 0
 }

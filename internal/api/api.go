@@ -1,0 +1,270 @@
+// Package api defines the versioned wire schema shared by every surface
+// that speaks PrivAnalyzer results: the privanalyzerd REST endpoints, the
+// privanalyzer -json CLI output, and embedders that want typed requests and
+// responses without linking the HTTP layer. The types here are the contract
+// — handlers and CLIs marshal through them, never through ad-hoc structs —
+// so the JSON a script parses from the CLI is byte-compatible with the JSON
+// the server returns.
+//
+// Versioning: every response carries APIVersion (the Version constant).
+// Additive changes (new optional fields) keep the version; renames and
+// semantic changes bump it. Request knobs map 1:1 onto rewrite.Options via
+// SearchParams.Options, so a per-request budget, escalation ladder, memory
+// budget, or worker count means exactly what the same CLI flag means.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Version is the wire-schema version stamped on every response.
+const Version = "v1"
+
+// Duration marshals as a Go duration string ("250ms", "1m30s") so request
+// payloads read like the CLI flags they mirror. The zero value marshals as
+// omitted (fields use omitempty).
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its canonical Go string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Std returns the duration as its standard-library type.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// UnmarshalJSON accepts a Go duration string or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("api: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("api: duration wants a string like \"250ms\" or nanoseconds, got %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// SearchParams are the per-request search knobs. Every field maps 1:1 onto
+// the identically-named CLI flag and, through Options, onto rewrite.Options
+// — the single option surface the engine, the CLIs, and the server share.
+// The zero value means "server/engine defaults" for every knob.
+type SearchParams struct {
+	// Budget caps the per-query state budget (the escalation ladder's cap);
+	// 0 means the standing default (rosa.DefaultMaxStates for raw queries,
+	// core.DefaultMaxStates for analyses). CLI flag: -budget.
+	Budget int `json:"budget,omitempty"`
+	// Workers is the search worker count per depth level (0 = one per CPU,
+	// 1 = sequential). Verdicts are identical at any value. CLI: -workers.
+	Workers int `json:"workers,omitempty"`
+	// Escalate is the budget-escalation ladder in the -escalate grammar:
+	// "" (defaults), "off", or "start:factor[:max]".
+	Escalate string `json:"escalate,omitempty"`
+	// MemBudget is the soft per-query memory budget in bytes; breaching it
+	// sheds the transition cache, then degrades to ⏱. CLI: -mem-budget.
+	MemBudget int64 `json:"mem_budget,omitempty"`
+	// Timeout is the wall-clock limit for the request; work past the
+	// deadline resolves to the ⏱ verdict. CLI: -timeout.
+	Timeout Duration `json:"timeout,omitempty"`
+	// Stats includes the per-query engine statistics (and enables the rule
+	// profiler) in the response. CLI: -stats.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// OrDefaults fills zero-valued knobs from d (a server's standing defaults);
+// explicitly-set request fields always win.
+func (p SearchParams) OrDefaults(d SearchParams) SearchParams {
+	if p.Budget == 0 {
+		p.Budget = d.Budget
+	}
+	if p.Workers == 0 {
+		p.Workers = d.Workers
+	}
+	if p.Escalate == "" {
+		p.Escalate = d.Escalate
+	}
+	if p.MemBudget == 0 {
+		p.MemBudget = d.MemBudget
+	}
+	if p.Timeout == 0 {
+		p.Timeout = d.Timeout
+	}
+	p.Stats = p.Stats || d.Stats
+	return p
+}
+
+// AnalyzeRequest asks for the full PrivAnalyzer pipeline — AutoPriv,
+// ChronoPriv, and the ROSA verdict grid — over one modeled program.
+// POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Program names the modeled program (programs.Names()).
+	Program string `json:"program"`
+	// Attacks selects attack IDs 1-4; empty means all four.
+	Attacks []int `json:"attacks,omitempty"`
+	// Parallel fans the independent (phase, attack) queries out over the
+	// CPUs on top of each query's own frontier parallelism.
+	Parallel bool `json:"parallel,omitempty"`
+	// Priority orders queued requests: higher runs sooner; equal priority
+	// is FIFO. Admission control is the queue bound, not the priority.
+	Priority int `json:"priority,omitempty"`
+	// Search tunes every query of the analysis.
+	Search SearchParams `json:"search,omitempty"`
+}
+
+// AnalyzeResponse is one program's full analysis — the wire form of
+// core.Analysis, the same rows the CLI tables render.
+type AnalyzeResponse struct {
+	APIVersion string `json:"api_version"`
+	Program    string `json:"program"`
+	Workload   string `json:"workload"`
+	// TotalInstructions is the run's dynamic instruction count.
+	TotalInstructions int64 `json:"total_instructions"`
+	// Phases holds per-phase measurements and verdicts in display order.
+	Phases []PhaseResult `json:"phases"`
+	// VulnerableShare[i] is the percentage of executed instructions during
+	// which attack i+1 was possible (the paper's window of opportunity).
+	VulnerableShare [4]float64 `json:"vulnerable_share"`
+	// Errors lists isolated query faults (verdict ⏱) with grid coordinates.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// PhaseResult is one phase row: the ChronoPriv measurement plus one
+// QueryResult per modeled attack.
+type PhaseResult struct {
+	Name       string `json:"name"`
+	Privileges string `json:"privileges"`
+	// UID and GID are the "real,effective,saved" credential triples.
+	UID          string  `json:"uid"`
+	GID          string  `json:"gid"`
+	Instructions int64   `json:"instructions"`
+	Percent      float64 `json:"percent"`
+	// Queries holds the ROSA results for the attacks that ran, in attack
+	// order.
+	Queries []QueryResult `json:"queries"`
+}
+
+// QueryResult is one ROSA verdict: the wire form of rosa.Result.
+type QueryResult struct {
+	// Attack is the modeled attack ID (1-4); 0 for ad-hoc /v1/query runs.
+	Attack int `json:"attack,omitempty"`
+	// Verdict is "safe", "vulnerable", or "unknown" (the paper's ✗, ✓, ⏱).
+	Verdict string `json:"verdict"`
+	// States counts distinct configurations the search visited.
+	States int `json:"states"`
+	// Attempts counts budget-escalation attempts (1 = first budget).
+	Attempts int `json:"attempts,omitempty"`
+	// ElapsedNS is the wall-clock search time. It is the only
+	// non-deterministic field of a verdict; everything else is byte-stable
+	// across runs, worker counts, and warm/cold caches.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Witness is the attack syscall sequence when vulnerable, one
+	// "rule -> state" step per entry.
+	Witness []string `json:"witness,omitempty"`
+	// Degraded reports the soft memory budget stopped the search.
+	Degraded bool `json:"degraded,omitempty"`
+	// Error carries the isolated search fault that forced an unknown
+	// verdict; empty for clean verdicts.
+	Error string `json:"error,omitempty"`
+	// Stats is the engine's statistics snapshot; present only when the
+	// request set SearchParams.Stats.
+	Stats *SearchStats `json:"stats,omitempty"`
+}
+
+// SearchStats is the wire subset of rewrite.SearchStats: counters that let
+// an operator see what the engine did without shipping the full profile.
+type SearchStats struct {
+	Depth               int     `json:"depth"`
+	DedupHits           int     `json:"dedup_hits"`
+	StatesPerSec        float64 `json:"states_per_sec"`
+	RulesSkippedByIndex int64   `json:"rules_skipped_by_index"`
+	SubtreesPruned      int64   `json:"subtrees_pruned"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	InternerSize        int64   `json:"interner_size"`
+}
+
+// QueryRequest asks for one standalone ROSA query. POST /v1/query. Either
+// Source carries a query file (rosa.ParseQuery format), or the structured
+// fields describe one of the paper's attack queries; Source wins when both
+// are set.
+type QueryRequest struct {
+	// Source is a query in the rosa.ParseQuery file format.
+	Source string `json:"source,omitempty"`
+	// Attack picks a Table I attack (1-4) built from the fields below.
+	Attack int `json:"attack,omitempty"`
+	// Privs is the permitted privilege set, e.g. "CapSetuid,CapChown".
+	Privs string `json:"privs,omitempty"`
+	// UID and GID are "real,effective,saved" triples; omitted means
+	// 1000,1000,1000.
+	UID string `json:"uid,omitempty"`
+	GID string `json:"gid,omitempty"`
+	// Syscalls is the attacker's syscall inventory.
+	Syscalls []string `json:"syscalls,omitempty"`
+	// Extended runs against the §X extended system (Capsicum, CFI).
+	Extended bool `json:"extended,omitempty"`
+	// Priority orders queued requests (see AnalyzeRequest.Priority).
+	Priority int `json:"priority,omitempty"`
+	// Search tunes the query's search.
+	Search SearchParams `json:"search,omitempty"`
+}
+
+// QueryResponse is the standalone query's answer.
+type QueryResponse struct {
+	APIVersion string `json:"api_version"`
+	// Description says what was checked (the attack's Table I description,
+	// or "query file" for Source submissions).
+	Description string `json:"description"`
+	// Result is the verdict.
+	Result QueryResult `json:"result"`
+}
+
+// ProgramsResponse lists the modeled programs /v1/analyze accepts.
+// GET /v1/programs.
+type ProgramsResponse struct {
+	APIVersion string   `json:"api_version"`
+	Programs   []string `json:"programs"`
+}
+
+// ErrorResponse is the uniform error envelope every endpoint returns on
+// failure, alongside the HTTP status.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine code and the human message.
+type ErrorDetail struct {
+	// Code is one of "bad_request", "not_found", "saturated", "canceled",
+	// "internal".
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// Error codes.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeSaturated  = "saturated"
+	CodeCanceled   = "canceled"
+	CodeInternal   = "internal"
+)
+
+// Encode writes v as two-space-indented JSON with a trailing newline — the
+// one rendering every producer (server handlers, privanalyzer -json) uses,
+// so equal values are equal bytes everywhere.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}

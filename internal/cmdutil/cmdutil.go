@@ -1,9 +1,10 @@
-// Package cmdutil holds the small pieces the four binaries share for
-// fault-tolerant operation: signal-driven graceful shutdown, the -escalate
-// flag syntax, and checkpoint file I/O. They live here rather than in the
-// engine packages because they are process-level concerns — signals, files,
-// flag grammars — that internal/rewrite and internal/rosa deliberately know
-// nothing about.
+// Package cmdutil holds the pieces the binaries share for fault-tolerant
+// operation: signal-driven graceful shutdown, the shared flag surface
+// (SearchFlags, LogFlags — which route through internal/api so CLI flags
+// and server request fields are one schema), and checkpoint file I/O. They
+// live here rather than in the engine packages because they are
+// process-level concerns — signals, files, flag grammars — that
+// internal/rewrite and internal/rosa deliberately know nothing about.
 package cmdutil
 
 import (
@@ -12,10 +13,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"syscall"
 
+	"privanalyzer/internal/api"
 	"privanalyzer/internal/rewrite"
 )
 
@@ -36,45 +36,10 @@ func SignalContext(parent context.Context) (context.Context, context.CancelFunc)
 	return ctx, stop
 }
 
-// ParseEscalate applies the -escalate flag value to opts. The grammar:
-//
-//	""                 escalation on with supervisor defaults (the default)
-//	"off"              disable: one-shot search at the full budget
-//	"start:factor"     escalate from start states, multiplying by factor
-//	"start:factor:max" as above, capping the ladder at max states
+// ParseEscalate applies the -escalate flag value to opts. The grammar is
+// api.ApplyEscalate's — the flag and the wire field are the same language.
 func ParseEscalate(s string, opts *rewrite.Options) error {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return nil
-	}
-	if s == "off" {
-		opts.NoEscalate = true
-		return nil
-	}
-	parts := strings.Split(s, ":")
-	if len(parts) != 2 && len(parts) != 3 {
-		return fmt.Errorf(`-escalate: want "off" or start:factor[:max], got %q`, s)
-	}
-	vals := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v <= 0 {
-			return fmt.Errorf("-escalate: %q is not a positive integer", p)
-		}
-		vals[i] = v
-	}
-	if vals[1] < 2 {
-		return fmt.Errorf("-escalate: factor must be at least 2, got %d", vals[1])
-	}
-	opts.Escalate.Start = vals[0]
-	opts.Escalate.Factor = vals[1]
-	if len(vals) == 3 {
-		if vals[2] < vals[0] {
-			return fmt.Errorf("-escalate: max %d below start %d", vals[2], vals[0])
-		}
-		opts.Escalate.Max = vals[2]
-	}
-	return nil
+	return api.ApplyEscalate(s, opts)
 }
 
 // WriteCheckpointFile writes cp to path atomically (temp file + rename in

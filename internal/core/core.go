@@ -42,14 +42,13 @@ type Options struct {
 	// cap (or the AnalyzeContext deadline) yields the Unknown (⏱) verdict
 	// for that query.
 	Search rewrite.Options
-	// MaxStates is the per-query ROSA search budget.
-	//
-	// Deprecated: legacy alias for Search.MaxStates, honored when
-	// Search.MaxStates is 0. Like Search.MaxStates it now caps the
-	// escalation ladder rather than selecting a one-shot budget, so legacy
-	// callers get escalation defaults (and identical verdicts — escalation
-	// is verdict-transparent; TestLegacyMaxStatesAlias pins this).
-	MaxStates int
+	// Checker, when set, runs the ROSA queries against this shared checker
+	// instead of building a fresh one, so the transition caches amortize
+	// across analyses of the same program — privanalyzerd keeps one hot
+	// Checker per program in an LRU and injects it here. Verdicts are
+	// identical either way; only repeated-analysis cost changes. Nil (the
+	// CLI default) builds a per-call Checker.
+	Checker *rosa.Checker
 	// Attacks selects which attacks to model; nil means all four.
 	Attacks []attacks.ID
 	// Parallel additionally fans the independent (phase, attack) queries
@@ -81,6 +80,9 @@ type PhaseResult struct {
 	// Verdicts holds the ROSA verdicts for attacks 1–4 (zero value for
 	// attacks excluded by Options).
 	Verdicts [4]rosa.Verdict
+	// Witnesses holds, per attack, the syscall sequence reaching the
+	// compromised state when the verdict is Vulnerable; nil otherwise.
+	Witnesses [4][]rewrite.Step
 	// States and Elapsed record each query's search cost (Figures 5–11).
 	States  [4]int
 	Elapsed [4]time.Duration
@@ -171,9 +173,6 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 
 	search := opts.Search
 	if search.MaxStates <= 0 {
-		search.MaxStates = opts.MaxStates
-	}
-	if search.MaxStates <= 0 {
 		search.MaxStates = DefaultMaxStates
 	}
 	ids := opts.Attacks
@@ -229,8 +228,12 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 	// error slot. All jobs share one rosa.Checker, so the transition graph
 	// a query expands is reused by every later (phase, attack) query over
 	// the same program — repeated phases with identical credentials and
-	// privileges hit the cache almost entirely.
-	checker := rosa.NewChecker()
+	// privileges hit the cache almost entirely. An injected Options.Checker
+	// extends that sharing across analyses (the server's hot-checker LRU).
+	checker := opts.Checker
+	if checker == nil {
+		checker = rosa.NewChecker()
+	}
 	results := make([]*rosa.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
@@ -285,6 +288,7 @@ func AnalyzeContext(ctx context.Context, p *programs.Program, opts Options) (*An
 		res := results[i]
 		pr := &a.Phases[j.phase]
 		pr.Verdicts[j.attack-1] = res.Verdict
+		pr.Witnesses[j.attack-1] = res.Witness
 		pr.States[j.attack-1] = res.StatesExplored
 		pr.Elapsed[j.attack-1] = res.Elapsed
 		pr.Stats[j.attack-1] = res.Stats

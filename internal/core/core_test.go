@@ -7,6 +7,7 @@ import (
 
 	"privanalyzer/internal/attacks"
 	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
 )
 
@@ -139,7 +140,10 @@ func TestTinyBudgetYieldsUnknown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(p, Options{MaxStates: 2, Attacks: []attacks.ID{attacks.ReadDevMem}})
+	a, err := Analyze(p, Options{
+		Search:  rewrite.Options{MaxStates: 2},
+		Attacks: []attacks.ID{attacks.ReadDevMem},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,22 +372,40 @@ func TestAnalyzeStatsAttached(t *testing.T) {
 	}
 }
 
-// TestLegacyMaxStatesHonored: the deprecated Options.MaxStates alias still
-// bounds the search when the unified Search options leave it unset.
-func TestLegacyMaxStatesHonored(t *testing.T) {
+// TestSharedCheckerMatchesFresh: injecting a long-lived Checker (the
+// privanalyzerd serving path) changes performance, never results — repeat
+// analyses against one warm checker return the same verdicts, state counts,
+// and witnesses as a cold per-call checker.
+func TestSharedCheckerMatchesFresh(t *testing.T) {
 	p, err := programs.Su()
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(p, Options{MaxStates: 10})
+	ref, err := Analyze(p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pr := range a.Phases {
-		for i, s := range pr.States {
-			if s > 10 {
-				t.Errorf("%s attack%d explored %d states under a 10-state budget",
-					pr.Spec.Name, i+1, s)
+	shared := rosa.NewChecker()
+	for run := 0; run < 2; run++ {
+		a, err := Analyze(p, Options{Checker: shared})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pr := range a.Phases {
+			if pr.Verdicts != ref.Phases[i].Verdicts {
+				t.Errorf("run %d %s: verdicts %v, fresh checker got %v",
+					run, pr.Spec.Name, pr.Verdicts, ref.Phases[i].Verdicts)
+			}
+			if pr.States != ref.Phases[i].States {
+				t.Errorf("run %d %s: states %v, fresh checker got %v",
+					run, pr.Spec.Name, pr.States, ref.Phases[i].States)
+			}
+			for j := range pr.Witnesses {
+				if len(pr.Witnesses[j]) != len(ref.Phases[i].Witnesses[j]) {
+					t.Errorf("run %d %s attack%d: witness length %d, fresh checker got %d",
+						run, pr.Spec.Name, j+1,
+						len(pr.Witnesses[j]), len(ref.Phases[i].Witnesses[j]))
+				}
 			}
 		}
 	}

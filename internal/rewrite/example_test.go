@@ -36,7 +36,7 @@ func Example() {
 	goal := rewrite.Goal{
 		Pattern: rewrite.NewConfig(rewrite.NewOp("prize"), rewrite.NewVar("Z", rewrite.SortConfig)),
 	}
-	res, _ := sys.Search(rewrite.NewConfig(rewrite.NewOp("mint", rewrite.NewInt(2))), goal, rewrite.SearchOptions{})
+	res, _ := sys.Search(rewrite.NewConfig(rewrite.NewOp("mint", rewrite.NewInt(2))), goal, rewrite.Options{})
 	fmt.Println("found:", res.Found)
 	for _, s := range res.Witness {
 		fmt.Println("rule:", s.Rule)

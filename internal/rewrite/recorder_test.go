@@ -22,6 +22,9 @@ func TestStatsIntervalThrottle(t *testing.T) {
 				StatsInterval: interval,
 				OnStats: func(st *SearchStats) {
 					snapshots++
+					if last != nil && last.Final {
+						t.Error("a snapshot arrived after the Final one")
+					}
 					last = st
 				},
 			})
@@ -31,7 +34,12 @@ func TestStatsIntervalThrottle(t *testing.T) {
 		if last == nil {
 			t.Fatal("OnStats never fired")
 		}
-		// The final snapshot always reflects the finished search.
+		// The final snapshot always reflects the finished search and is the
+		// only one flagged Final, so progress printers can tell the
+		// unconditional end-of-search snapshot from interval ticks.
+		if !last.Final {
+			t.Error("last snapshot not flagged Final")
+		}
 		if last.StatesExplored != res.StatesExplored {
 			t.Errorf("final snapshot states %d != result states %d",
 				last.StatesExplored, res.StatesExplored)

@@ -269,7 +269,7 @@ func TestVendingSearch(t *testing.T) {
 			return countSym(st, "a") >= 1 && countSym(st, "c") >= 1
 		},
 	}
-	res, err := s.Search(init, goal, SearchOptions{MaxDepth: 10})
+	res, err := s.Search(init, goal, Options{MaxDepth: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestSearchUnreachableExhausts(t *testing.T) {
 			return countSym(b.Get("S"), "c") >= 1
 		},
 	}
-	res, err := s.Search(init, goal, SearchOptions{})
+	res, err := s.Search(init, goal, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestSearchMaxStatesTruncates(t *testing.T) {
 		}},
 	}
 	goal := Goal{Pattern: NewOp("c", NewInt(-1))} // unreachable
-	res, err := s.Search(NewOp("c", NewInt(0)), goal, SearchOptions{MaxStates: 100})
+	res, err := s.Search(NewOp("c", NewInt(0)), goal, Options{MaxStates: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,14 +344,14 @@ func TestSearchMaxDepth(t *testing.T) {
 		}},
 	}
 	goal := Goal{Pattern: NewOp("c", NewInt(5))}
-	res, err := s.Search(NewOp("c", NewInt(0)), goal, SearchOptions{MaxDepth: 3})
+	res, err := s.Search(NewOp("c", NewInt(0)), goal, Options{MaxDepth: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Found {
 		t.Error("goal at depth 5 must be unreachable with MaxDepth 3")
 	}
-	res2, err := s.Search(NewOp("c", NewInt(0)), goal, SearchOptions{MaxDepth: 5})
+	res2, err := s.Search(NewOp("c", NewInt(0)), goal, Options{MaxDepth: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,12 +473,11 @@ func TestDedupAblation(t *testing.T) {
 	goal := Goal{Pattern: NewOp("p", NewInt(4), NewInt(4))}
 	init := NewOp("p", NewInt(0), NewInt(0))
 
-	on, err := s.Search(init, goal, SearchOptions{})
+	on, err := s.Search(init, goal, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off := false
-	no, err := s.Search(init, goal, SearchOptions{Dedup: &off})
+	no, err := s.Search(init, goal, Options{NoDedup: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -205,6 +205,11 @@ type SearchStats struct {
 	// CheckpointElapsed is the wall-clock time spent materializing and
 	// writing checkpoints (included in, not additional to, Elapsed).
 	CheckpointElapsed time.Duration
+	// Final marks the unconditional end-of-search snapshot OnStats always
+	// receives, distinguishing it from interval-throttled progress ticks.
+	// Progress printers use it to avoid emitting a stale "final" line for
+	// searches that finish before their first StatsInterval tick.
+	Final bool
 }
 
 // RuleCost is one rule's row of the search profile.
@@ -478,7 +483,9 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 	finish := func() (*SearchResult, error) {
 		refresh()
 		if opts.OnStats != nil {
-			opts.OnStats(stats.Clone())
+			final := stats.Clone()
+			final.Final = true
+			opts.OnStats(final)
 		}
 		telemetry.Logger(ctx).Debug("search done",
 			"component", "rewrite",

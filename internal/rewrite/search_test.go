@@ -177,9 +177,9 @@ func TestParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestLegacySearchMatchesContext pins the deprecated wrapper to the new
-// entry point.
-func TestLegacySearchMatchesContext(t *testing.T) {
+// TestSearchMatchesContext pins the context-free convenience wrapper to
+// the context entry point: same Options in, same result out.
+func TestSearchMatchesContext(t *testing.T) {
 	s := vending()
 	init := NewConfig(NewOp("$"), NewOp("q"), NewOp("q"), NewOp("q"))
 	goal := Goal{
@@ -188,7 +188,7 @@ func TestLegacySearchMatchesContext(t *testing.T) {
 			return countSym(b.Get("S"), "c") >= 1
 		},
 	}
-	old, err := s.Search(init, goal, SearchOptions{MaxDepth: 8})
+	old, err := s.Search(init, goal, Options{MaxDepth: 8, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestLegacySearchMatchesContext(t *testing.T) {
 	}
 	if old.Found != new_.Found || old.StatesExplored != new_.StatesExplored ||
 		fmt.Sprint(witnessRules(old.Witness)) != fmt.Sprint(witnessRules(new_.Witness)) {
-		t.Errorf("legacy Search diverges: (%v, %d, %v) vs (%v, %d, %v)",
+		t.Errorf("Search wrapper diverges: (%v, %d, %v) vs (%v, %d, %v)",
 			old.Found, old.StatesExplored, witnessRules(old.Witness),
 			new_.Found, new_.StatesExplored, witnessRules(new_.Witness))
 	}

@@ -470,42 +470,6 @@ func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([
 	return steps, nil
 }
 
-// SearchOptions is the pre-context option surface, kept as a thin
-// compatibility layer over Options.
-//
-// Deprecated: use Options with SearchContext. The pointer-valued Dedup
-// flag is translated to Options.NoDedup.
-type SearchOptions struct {
-	// MaxDepth bounds the number of rule applications along a path;
-	// 0 means unbounded (the visited set still guarantees termination on
-	// finite state spaces).
-	MaxDepth int
-	// MaxStates aborts the search after visiting this many states;
-	// 0 means unbounded.
-	MaxStates int
-	// Dedup controls visited-state deduplication; it defaults to on and
-	// exists so the ablation benchmark can turn it off.
-	Dedup *bool
-	// DepthFirst explores the frontier LIFO instead of FIFO.
-	DepthFirst bool
-}
-
-// options translates the legacy surface to the unified one. Legacy
-// searches stay sequential: callers of the old API may rely on
-// single-threaded rule and goal callbacks.
-func (o SearchOptions) options() Options {
-	n := Options{
-		MaxDepth:   o.MaxDepth,
-		MaxStates:  o.MaxStates,
-		DepthFirst: o.DepthFirst,
-		Workers:    1,
-	}
-	if o.Dedup != nil {
-		n.NoDedup = !*o.Dedup
-	}
-	return n
-}
-
 // SearchResult reports the outcome of a search.
 type SearchResult struct {
 	// Found reports whether a goal state was reached.
@@ -560,11 +524,11 @@ func (g Goal) matches(state *Term, sig Signature) bool {
 
 // Search runs Maude-style `search init =>* goal` as a breadth-first
 // exploration of the rule-transition graph, returning the shortest witness
-// when the goal is reachable. It is the pre-context entry point, kept as a
-// thin wrapper over SearchContext; it cannot be cancelled and always runs
-// sequentially.
-func (s *System) Search(init *Term, goal Goal, opts SearchOptions) (*SearchResult, error) {
-	return s.SearchContext(context.Background(), init, goal, opts.options())
+// when the goal is reachable. It is the context-free convenience entry
+// point — SearchContext under context.Background() with the same unified
+// Options every layer shares; it cannot be cancelled.
+func (s *System) Search(init *Term, goal Goal, opts Options) (*SearchResult, error) {
+	return s.SearchContext(context.Background(), init, goal, opts)
 }
 
 // FormatWitness renders a witness as numbered rule applications, one per

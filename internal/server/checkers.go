@@ -1,0 +1,57 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"privanalyzer/internal/rosa"
+)
+
+// checkerLRU keeps per-program rosa.Checker instances hot. Each checker
+// carries the transition caches for its program's query mix, so repeat
+// requests for the same program amortize graph expansion across requests —
+// the serving-path counterpart of core.AnalyzeContext sharing one checker
+// across a single analysis's query grid. Eviction drops the coldest
+// program's caches; correctness never depends on a hit (a fresh checker
+// recomputes identical verdicts, pinned by the determinism tests).
+type checkerLRU struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	c   *rosa.Checker
+}
+
+func newCheckerLRU(max int) *checkerLRU {
+	return &checkerLRU{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the checker for key, building (and caching) one on a miss and
+// evicting the least-recently-used entry past capacity.
+func (l *checkerLRU) get(key string) *rosa.Checker {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.m[key]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).c
+	}
+	c := rosa.NewChecker()
+	l.m[key] = l.ll.PushFront(&lruEntry{key: key, c: c})
+	for l.ll.Len() > l.max {
+		last := l.ll.Back()
+		l.ll.Remove(last)
+		delete(l.m, last.Value.(*lruEntry).key)
+	}
+	return c
+}
+
+// len reports the resident checker count (an occupancy gauge).
+func (l *checkerLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"privanalyzer/internal/telemetry"
+)
+
+// RegisterDiagnostics installs the operational endpoints the binaries
+// share on mux: net/http/pprof under /debug/pprof/, /healthz (process
+// liveness, always 200), /readyz (readiness: 503 with the reason while
+// ready() errors; a nil ready means always ready), and /metrics (the
+// registry in Prometheus text exposition format; an empty document when reg
+// is nil). privanalyzer's -pprof listener and privanalyzerd's main mux both
+// route through here, so the probe surface is identical everywhere.
+func RegisterDiagnostics(mux *http.ServeMux, reg *telemetry.Registry, ready func() error) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ok := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}
+	mux.HandleFunc("/healthz", ok)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		ok(w, r)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg == nil {
+			return
+		}
+		if err := reg.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"privanalyzer/internal/api"
+	"privanalyzer/internal/core"
+	"privanalyzer/internal/programs"
+)
+
+// maxBodyBytes bounds request bodies; program names and query files are
+// small, so anything larger is a client error.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
+	RegisterDiagnostics(mux, s.reg, s.Ready)
+	return mux
+}
+
+// writeJSON writes v through api.Encode — the CLI's encoder — so server
+// bytes and CLI bytes for equal values are identical.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := api.Encode(w, v); err != nil {
+		s.log.Warn("response write failed", "component", "server", "error", err)
+	}
+}
+
+// writeError writes the uniform error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.reg.Counter("server_errors_total").Add(1)
+	s.writeJSON(w, status, api.ErrorResponse{Error: api.ErrorDetail{Code: code, Message: msg}})
+}
+
+// decode strictly unmarshals the request body into v: unknown fields are
+// schema violations, not noise to ignore — the wire types are versioned.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// runError maps a run() failure to its HTTP response.
+func (s *Server) runError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, api.CodeSaturated, err.Error())
+	case errors.Is(err, context.Canceled):
+		// The client went away while the job was queued; the envelope is
+		// best-effort (nobody may read it).
+		s.writeError(w, http.StatusServiceUnavailable, api.CodeCanceled, "request cancelled before execution")
+	default:
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
+// handleAnalyze runs the full pipeline for one modeled program on the
+// pool, against the program's LRU-resident checker.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req api.AnalyzeRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if req.Program == "" {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "program is required")
+		return
+	}
+	p, err := programs.ByName(req.Program)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, api.CodeNotFound, err.Error())
+		return
+	}
+	req.Search = req.Search.OrDefaults(s.cfg.DefaultSearch)
+	opts, err := req.CoreOptions()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	opts.Checker = s.checkers.get(p.Name)
+	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
+
+	var resp *api.AnalyzeResponse
+	err = s.run(r.Context(), req.Priority, req.Search.Timeout.Std(), func(ctx context.Context) error {
+		a, err := core.AnalyzeContext(ctx, p, opts)
+		if err != nil {
+			return err
+		}
+		resp = api.FromAnalysis(a, req.Search.Stats)
+		return nil
+	})
+	if err != nil {
+		s.runError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQuery runs one standalone ROSA query. Ad-hoc queries share one
+// checker per extension flag (held in the LRU under reserved keys no
+// program name can collide with), so repeat queries amortize like repeat
+// analyses.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req api.QueryRequest
+	if err := decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	req.Search = req.Search.OrDefaults(s.cfg.DefaultSearch)
+	q, desc, err := req.Build()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	key := "\x00adhoc"
+	if q.Extended {
+		key = "\x00adhoc-ext"
+	}
+	checker := s.checkers.get(key)
+	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
+
+	var resp api.QueryResponse
+	err = s.run(r.Context(), req.Priority, req.Search.Timeout.Std(), func(ctx context.Context) error {
+		res, err := checker.Run(ctx, q)
+		if err != nil {
+			return err
+		}
+		resp = api.QueryResponse{
+			APIVersion:  api.Version,
+			Description: desc,
+			Result:      api.FromResult(req.Attack, res, req.Search.Stats),
+		}
+		return nil
+	})
+	if err != nil {
+		s.runError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePrograms lists the modeled programs /v1/analyze accepts.
+func (s *Server) handlePrograms(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, api.ProgramsResponse{
+		APIVersion: api.Version,
+		Programs:   programs.Names(),
+	})
+}

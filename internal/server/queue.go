@@ -1,0 +1,169 @@
+package server
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated reports an admission-control rejection: the pending queue is
+// at its bound. Handlers map it to HTTP 503 and /readyz reports it.
+var ErrSaturated = errors.New("server: queue saturated")
+
+// ErrClosed reports a submission after drain began.
+var ErrClosed = errors.New("server: draining, not accepting work")
+
+// job is one queued request. Higher priority runs sooner; equal priority is
+// FIFO by sequence number. index is the heap slot (-1 once dequeued) so a
+// cancelled waiter can withdraw a still-pending job in O(log n).
+type job struct {
+	priority int
+	seq      uint64
+	run      func()
+	done     chan struct{}
+	index    int
+}
+
+// jobHeap orders pending jobs: max-priority first, FIFO within a priority.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}
+
+// pool is the bounded, prioritized worker pool every request runs on. A
+// fixed number of workers drain the heap; admission control is the queue
+// bound, not the priority — a full queue rejects rather than grows.
+type pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  jobHeap
+	seq      uint64
+	workers  int
+	depth    int
+	inflight int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{workers: workers, depth: depth}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.pending) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.pending) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&p.pending).(*job)
+		p.inflight++
+		p.mu.Unlock()
+
+		j.run()
+		close(j.done)
+
+		p.mu.Lock()
+		p.inflight--
+		p.mu.Unlock()
+	}
+}
+
+// submit enqueues fn and blocks until it has run, the queue rejects it, or
+// ctx is cancelled while it is still pending. Cancellation after a worker
+// picked the job waits for fn to return (fn observes the same ctx and winds
+// down promptly).
+func (p *pool) submit(ctx context.Context, priority int, fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if len(p.pending) >= p.depth {
+		p.mu.Unlock()
+		return ErrSaturated
+	}
+	j := &job{priority: priority, seq: p.seq, run: fn, done: make(chan struct{})}
+	p.seq++
+	heap.Push(&p.pending, j)
+	p.mu.Unlock()
+	p.cond.Signal()
+
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if j.index >= 0 { // still pending: withdraw, never runs
+			heap.Remove(&p.pending, j.index)
+			p.mu.Unlock()
+			return ctx.Err()
+		}
+		p.mu.Unlock()
+		<-j.done // already running: the worker owns it to completion
+		return nil
+	}
+}
+
+// saturated reports whether the next submit would be rejected.
+func (p *pool) saturated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed || len(p.pending) >= p.depth
+}
+
+// stats returns the pending and inflight counts (queue-depth gauges).
+func (p *pool) stats() (pending, inflight int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending), p.inflight
+}
+
+// close stops admissions; queued and inflight jobs still complete.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// drain closes the pool and waits for every worker to exit.
+func (p *pool) drain() {
+	p.close()
+	p.wg.Wait()
+}

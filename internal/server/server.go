@@ -1,0 +1,207 @@
+// Package server is the long-lived analysis daemon behind privanalyzerd: a
+// REST+JSON front end over the engine that runs submissions on a bounded,
+// prioritized worker pool and keeps per-program rosa.Checker instances hot
+// in an LRU so the interner and transition caches amortize across requests.
+//
+// The wire contract lives in internal/api — handlers decode requests into
+// and encode responses from those types only, so the server's JSON is the
+// same schema the CLIs emit. Results are deterministic by construction:
+// warm caches and concurrency change latency, never verdicts, witnesses, or
+// state counts (pinned by this package's determinism tests).
+//
+// Endpoints: POST /v1/analyze (full pipeline for one modeled program),
+// POST /v1/query (one standalone ROSA query), GET /v1/programs, plus the
+// diagnostics surface RegisterDiagnostics installs (/healthz, /readyz —
+// 503 while the queue is saturated or the server drains — /metrics, and
+// /debug/pprof). Serve drains gracefully: SIGTERM (via
+// cmdutil.SignalContext upstream) stops admissions, lets queued and
+// in-flight work finish inside DrainTimeout, then force-cancels stragglers.
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"privanalyzer/internal/api"
+	"privanalyzer/internal/telemetry"
+)
+
+// Config tunes the daemon. The zero value serves with defaults.
+type Config struct {
+	// Concurrency is the worker-pool size — how many analyses/queries run
+	// at once (each may use multi-worker search internally). 0 = NumCPU.
+	Concurrency int
+	// QueueDepth bounds the pending queue; a full queue rejects with 503
+	// and flips /readyz. 0 = 64.
+	QueueDepth int
+	// Checkers caps the per-program checker LRU. 0 = 8.
+	Checkers int
+	// DefaultSearch supplies server-side fallbacks for request knobs left
+	// zero (the privanalyzerd flag surface, shared via cmdutil.SearchFlags).
+	DefaultSearch api.SearchParams
+	// RequestTimeout bounds each request's wall clock when neither the
+	// request nor DefaultSearch sets one; expired work resolves to ⏱
+	// verdicts, not errors. 0 = unbounded.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown. 0 = 10s.
+	DrainTimeout time.Duration
+	// Registry receives the server and engine metrics. Nil builds one.
+	Registry *telemetry.Registry
+	// Logger receives structured logs. Nil discards.
+	Logger *slog.Logger
+}
+
+// Server is the daemon: pool, checker LRU, metrics, and HTTP surface.
+type Server struct {
+	cfg      Config
+	reg      *telemetry.Registry
+	log      *slog.Logger
+	pool     *pool
+	checkers *checkerLRU
+	mux      *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool. Metrics the operators
+// scrape are pre-registered so /metrics exposes the full schema (at zero)
+// from the first request, not after the first analysis.
+func New(cfg Config) *Server {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Checkers <= 0 {
+		cfg.Checkers = 8
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.Discard
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		log:      log,
+		pool:     newPool(cfg.Concurrency, cfg.QueueDepth),
+		checkers: newCheckerLRU(cfg.Checkers),
+	}
+	for _, name := range []string{
+		"server_requests_total", "server_errors_total",
+		"server_rejected_total",
+		"rosa_queries_total",
+		"rosa_succ_cache_hits_total", "rosa_succ_cache_misses_total",
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Gauge("server_queue_pending")
+	s.reg.Gauge("server_queue_inflight")
+	s.reg.Gauge("server_checkers_resident")
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the full HTTP surface (API + diagnostics), ready to mount
+// on any listener — httptest servers included.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports admission readiness: nil when a request submitted now would
+// be queued, ErrSaturated/ErrClosed otherwise. /readyz maps an error to 503.
+func (s *Server) Ready() error {
+	if s.pool.saturated() {
+		return ErrSaturated
+	}
+	return nil
+}
+
+// Close stops admissions and waits for queued and in-flight work to finish.
+// For direct-Handler users (tests); Serve calls it during drain.
+func (s *Server) Close() { s.pool.drain() }
+
+// run pushes fn through the admission queue and executes it with the
+// server's telemetry context and the effective request timeout. The
+// returned error is ErrSaturated/ErrClosed on rejection, the waiter's
+// context error on pre-execution cancellation, or fn's own error.
+func (s *Server) run(parent context.Context, priority int, timeout time.Duration, fn func(context.Context) error) error {
+	s.reg.Counter("server_requests_total").Add(1)
+	pending, inflight := s.pool.stats()
+	s.reg.Gauge("server_queue_pending").Set(int64(pending))
+	s.reg.Gauge("server_queue_inflight").Set(int64(inflight))
+	var err error
+	submitErr := s.pool.submit(parent, priority, func() {
+		ctx := telemetry.NewContext(parent, s.reg)
+		ctx = telemetry.WithLogger(ctx, s.log)
+		if timeout <= 0 {
+			timeout = s.cfg.RequestTimeout
+		}
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		err = fn(ctx)
+	})
+	if submitErr != nil {
+		if errors.Is(submitErr, ErrSaturated) || errors.Is(submitErr, ErrClosed) {
+			s.reg.Counter("server_rejected_total").Add(1)
+		}
+		return submitErr
+	}
+	return err
+}
+
+// Serve accepts on ln until ctx cancels, then drains: admissions stop,
+// in-flight handlers get DrainTimeout to finish, stragglers are cancelled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Request contexts descend from lifetime, not ctx: the shutdown signal
+	// must stop admissions, not abort work already accepted. lifetime
+	// cancels only after the drain window closes.
+	lifetime, kill := context.WithCancel(context.Background())
+	defer kill()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return lifetime },
+	}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("server draining", "component", "server", "timeout", s.cfg.DrainTimeout)
+	s.pool.close()
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	kill()
+	s.pool.drain()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve. The bound address (useful with
+// ":0") is reported through onListen when non-nil.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, onListen func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	return s.Serve(ctx, ln)
+}
