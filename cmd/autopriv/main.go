@@ -44,8 +44,13 @@ func run(args []string) int {
 		file    = fs.String("file", "", "IR text file to analyse instead of a modeled program")
 		emit    = fs.Bool("emit", false, "print the transformed IR")
 	)
+	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		cmdutil.PrintVersion(os.Stdout, "autopriv")
+		return 0
 	}
 	logger, err := logf.Logger()
 	if err != nil {

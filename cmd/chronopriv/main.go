@@ -45,8 +45,13 @@ func run(args []string) int {
 		jsonOut  = fs.Bool("json", false, "print the report as JSON instead of the table")
 		hotCount = fs.Int("hot", 0, "also print the N hottest basic blocks by instructions executed (0 = off)")
 	)
+	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		cmdutil.PrintVersion(os.Stdout, "chronopriv")
+		return 0
 	}
 	if *program == "" {
 		fs.Usage()

@@ -72,8 +72,13 @@ func run(args []string) (code int) {
 		promPath    = fs.String("prom", "", "write the run's metrics in Prometheus text exposition format to this file")
 		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof plus /healthz, /readyz, and /metrics on this address while the run executes (e.g. "localhost:6060"; off by default)`)
 	)
+	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		cmdutil.PrintVersion(os.Stdout, "privanalyzer")
+		return 0
 	}
 	traceOut := &search.TraceOut
 	timeout := &search.Timeout

@@ -13,9 +13,13 @@
 //
 // Endpoints (see API.md for payloads):
 //
-//	POST /v1/analyze   full pipeline for one modeled program
-//	POST /v1/query     one standalone ROSA query
-//	GET  /v1/programs  the modeled program list
+//	POST /v1/analyze          full pipeline for one modeled program
+//	POST /v1/query            one standalone ROSA query
+//	POST /v1/jobs             async submission; 202 with a job id
+//	GET  /v1/jobs/{id}        job status: queue position, live search stats
+//	GET  /v1/jobs/{id}/events live SSE stream (stats, recorder events, result)
+//	GET  /v1/programs         the modeled program list
+//	GET  /v1/version          the binary's build identity
 //	GET  /healthz /readyz /metrics /debug/pprof/...
 //
 // The search knobs (-budget, -workers, -escalate, -mem-budget, -timeout,
@@ -56,9 +60,15 @@ func run(args []string, onListen func(net.Addr)) int {
 		queue       = fs.Int("queue", 0, "pending-request bound; a full queue answers 503 and flips /readyz (0 = 64)")
 		checkers    = fs.Int("checkers", 0, "per-program checker LRU capacity — how many programs stay cache-warm (0 = 8)")
 		drain       = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for queued and in-flight requests")
+		jobStats    = fs.Duration("job-stats-interval", 0, "throttle async jobs' progress snapshots (SSE stats frames) to this interval (0 = one per completed depth level)")
 	)
+	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		cmdutil.PrintVersion(os.Stdout, "privanalyzerd")
+		return 0
 	}
 	if search.TraceOut != "" {
 		fmt.Fprintln(os.Stderr, "privanalyzerd: -trace-out is a one-shot CLI flag; use /debug/pprof on a running server")
@@ -80,18 +90,19 @@ func run(args []string, onListen func(net.Addr)) int {
 	}
 
 	srv := server.New(server.Config{
-		Concurrency:   *concurrency,
-		QueueDepth:    *queue,
-		Checkers:      *checkers,
-		DefaultSearch: search.Params(),
-		DrainTimeout:  *drain,
-		Registry:      telemetry.New(),
-		Logger:        logger,
+		Concurrency:      *concurrency,
+		QueueDepth:       *queue,
+		Checkers:         *checkers,
+		DefaultSearch:    search.Params(),
+		DrainTimeout:     *drain,
+		JobStatsInterval: *jobStats,
+		Registry:         telemetry.New(),
+		Logger:           logger,
 	})
 	ctx, stopSignals := cmdutil.SignalContext(context.Background())
 	defer stopSignals()
 	err = srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
-		fmt.Fprintf(os.Stderr, "privanalyzerd: serving http://%s (POST /v1/analyze, POST /v1/query; /healthz /readyz /metrics /debug/pprof)\n", a)
+		fmt.Fprintf(os.Stderr, "privanalyzerd: serving http://%s (POST /v1/analyze, POST /v1/query, POST /v1/jobs; /healthz /readyz /metrics /debug/pprof)\n", a)
 		if onListen != nil {
 			onListen(a)
 		}

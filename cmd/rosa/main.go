@@ -19,6 +19,10 @@
 //	rosa -query f.rosa -escalate 4096:4   # custom budget-escalation ladder
 //	rosa -query f.rosa -checkpoint-out f.ckpt   # resumable: ^C flushes a checkpoint
 //	rosa -query f.rosa -resume f.ckpt           # continue where the ^C landed
+//	rosa -watch http://host:7177/v1/jobs/j-ab12  # follow a privanalyzerd job's
+//	                                             # live SSE stream (progress on
+//	                                             # stderr, result JSON on stdout)
+//	rosa -version          # build identity (module, go toolchain, VCS revision)
 //
 // SIGINT/SIGTERM interrupt the search gracefully: the partial verdict (⏱),
 // statistics, and — with -checkpoint-out — a checkpoint are flushed before
@@ -73,9 +77,18 @@ func run(args []string) int {
 		ckptEvr  = fs.Int("checkpoint-every", 0, "also checkpoint every N completed BFS levels (0 = only on early exit; needs -checkpoint-out)")
 		resume   = fs.String("resume", "", "resume the search from this checkpoint file (must be the same query; verdict and witness match an uninterrupted run)")
 		progress = fs.Duration("progress", 0, "print a live progress line to stderr at this interval, e.g. 200ms (0 = off)")
+		watch    = fs.String("watch", "", "follow a privanalyzerd job's live event stream at this URL (the status_url or events_url from POST /v1/jobs) instead of searching locally")
 	)
+	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		cmdutil.PrintVersion(os.Stdout, "rosa")
+		return 0
+	}
+	if *watch != "" {
+		return watchJob(*watch)
 	}
 
 	logger, err := logf.Logger()

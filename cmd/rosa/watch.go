@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"privanalyzer/internal/api"
+)
+
+// watchJob follows a privanalyzerd job's Server-Sent-Events stream and
+// renders it with the same progress line a local `rosa -progress` run
+// paints, so the CLI UX carries over to a remote daemon unchanged. The
+// terminal result envelope goes to stdout exactly as the server sent it
+// (byte-identical to the synchronous endpoint), so `rosa -watch <url> | jq`
+// works like piping the sync response.
+//
+// url may be the job URL (from a POST /v1/jobs acknowledgment's status_url)
+// or the events URL; /events is appended when missing.
+func watchJob(url string) int {
+	if !strings.HasSuffix(url, "/events") {
+		url = strings.TrimSuffix(url, "/") + "/events"
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rosa: -watch:", err)
+		return 2
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rosa: -watch:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "rosa: -watch: %s: %s\n%s", url, resp.Status, body)
+		return 1
+	}
+
+	w := watcher{out: os.Stdout, errw: os.Stderr}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20) // result envelopes carry witnesses
+	var event string
+	var data []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // blank line dispatches the accumulated frame
+			if event != "" {
+				if code, terminal := w.frame(event, strings.Join(data, "\n")); terminal {
+					return code
+				}
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+		// Comment lines (":heartbeat") and unknown fields fall through.
+	}
+	w.endProgress()
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "rosa: -watch: stream:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "rosa: -watch: stream ended without a result frame")
+	return 1
+}
+
+// watcher renders one job stream: progress line on stderr, terminal
+// envelope on stdout.
+type watcher struct {
+	out, errw     io.Writer
+	progressShown bool
+}
+
+// endProgress terminates a live progress line before printing full lines.
+func (w *watcher) endProgress() {
+	if w.progressShown {
+		fmt.Fprintln(w.errw)
+		w.progressShown = false
+	}
+}
+
+// frame handles one SSE frame; terminal is true for result/error, and code
+// is the process exit code then.
+func (w *watcher) frame(event, data string) (code int, terminal bool) {
+	switch event {
+	case "stats":
+		var st api.SearchStats
+		if json.Unmarshal([]byte(data), &st) != nil {
+			return 0, false
+		}
+		rate := 0.0
+		if st.ElapsedNS > 0 {
+			rate = float64(st.StatesExplored) / (float64(st.ElapsedNS) / 1e9)
+		}
+		hitRate := 0.0
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			hitRate = 100 * float64(st.CacheHits) / float64(lookups)
+		}
+		// The same line shape reporter.report paints for a local -progress
+		// run; a remote job has no budget knowledge, so that column is
+		// omitted.
+		fmt.Fprintf(w.errw, "\rdepth %-3d  %9d states (%.0f/s)  frontier %-7d  cache %5.1f%%  ",
+			st.Depth, st.StatesExplored, rate, st.Frontier, hitRate)
+		w.progressShown = true
+	case "goal_matched", "degraded", "escalated":
+		var ev api.JobEvent
+		if json.Unmarshal([]byte(data), &ev) != nil {
+			return 0, false
+		}
+		w.endProgress()
+		switch event {
+		case "goal_matched":
+			fmt.Fprintf(w.errw, "goal matched at depth %d (%d states explored)\n", ev.Depth, ev.N)
+		case "degraded":
+			fmt.Fprintf(w.errw, "memory budget breached at depth %d (estimate %d bytes): search degrading\n", ev.Depth, ev.N)
+		case "escalated":
+			fmt.Fprintf(w.errw, "budget escalation: next attempt at %d states\n", ev.N)
+		}
+	case "shutdown":
+		w.endProgress()
+		fmt.Fprintln(w.errw, "server draining; stream stays open while the job finishes")
+	case "result":
+		w.endProgress()
+		fmt.Fprintln(w.out, data)
+		return 0, true
+	case "error":
+		w.endProgress()
+		var env api.ErrorResponse
+		if json.Unmarshal([]byte(data), &env) == nil && env.Error.Code != "" {
+			fmt.Fprintf(w.errw, "rosa: -watch: job failed: %s: %s\n", env.Error.Code, env.Error.Message)
+		} else {
+			fmt.Fprintf(w.errw, "rosa: -watch: job failed:\n%s\n", data)
+		}
+		return 1, true
+	}
+	return 0, false
+}

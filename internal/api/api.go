@@ -182,8 +182,14 @@ type QueryResult struct {
 
 // SearchStats is the wire subset of rewrite.SearchStats: counters that let
 // an operator see what the engine did without shipping the full profile.
+// The same shape serves two roles: a final snapshot attached to a verdict
+// (QueryResult.Stats) and a progress snapshot streamed by a job's SSE
+// `stats` frames, where StatesExplored/Frontier/ElapsedNS make the search's
+// motion visible mid-flight.
 type SearchStats struct {
+	StatesExplored      int     `json:"states_explored"`
 	Depth               int     `json:"depth"`
+	Frontier            int     `json:"frontier,omitempty"`
 	DedupHits           int     `json:"dedup_hits"`
 	StatesPerSec        float64 `json:"states_per_sec"`
 	RulesSkippedByIndex int64   `json:"rules_skipped_by_index"`
@@ -191,6 +197,15 @@ type SearchStats struct {
 	CacheHits           int64   `json:"cache_hits"`
 	CacheMisses         int64   `json:"cache_misses"`
 	InternerSize        int64   `json:"interner_size"`
+	// ElapsedNS is wall-clock time into the search — nondeterministic, like
+	// QueryResult.ElapsedNS, and zeroed by byte-identity comparisons.
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	// DegradedAt is the states-explored count at which the soft memory
+	// budget first degraded the search; 0 when it never did.
+	DegradedAt int `json:"degraded_at,omitempty"`
+	// DroppedEvents is the flight recorder's truncation count at snapshot
+	// time (journal overwrites; stream drops are reported per job).
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
 }
 
 // QueryRequest asks for one standalone ROSA query. POST /v1/query. Either
@@ -233,6 +248,109 @@ type QueryResponse struct {
 type ProgramsResponse struct {
 	APIVersion string   `json:"api_version"`
 	Programs   []string `json:"programs"`
+}
+
+// Job status words: a job is admitted into the queue (queued), picked up by
+// a worker (running), and finished (done) — done covers success and failure
+// alike; the stored result or error envelope says which.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// JobRequest submits an analyze or query request for asynchronous execution
+// with live observability. Exactly one of the two fields must be set; the
+// inner request is identical to what the synchronous endpoint accepts, and
+// the job's terminal result is byte-identical to what that endpoint would
+// have returned. POST /v1/jobs.
+type JobRequest struct {
+	Analyze *AnalyzeRequest `json:"analyze,omitempty"`
+	Query   *QueryRequest   `json:"query,omitempty"`
+}
+
+// JobResponse acknowledges an admitted job. POST /v1/jobs → 202.
+type JobResponse struct {
+	APIVersion string `json:"api_version"`
+	// ID is the job's opaque identifier.
+	ID string `json:"id"`
+	// Status is the job's state at admission (normally "queued").
+	Status string `json:"status"`
+	// RequestID is the correlation id (the X-Request-ID header, generated if
+	// the client sent none) joining this job's logs, spans, and SSE stream.
+	RequestID string `json:"request_id,omitempty"`
+	// StatusURL and EventsURL locate the job's status and SSE stream.
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// JobStatusResponse reports a job's state. GET /v1/jobs/{id}.
+type JobStatusResponse struct {
+	APIVersion string `json:"api_version"`
+	ID         string `json:"id"`
+	// Status is "queued", "running", or "done".
+	Status string `json:"status"`
+	// Kind is "analyze" or "query".
+	Kind string `json:"kind"`
+	// RequestID is the job's correlation id.
+	RequestID string `json:"request_id,omitempty"`
+	// QueuePosition is the 1-based position among queued jobs while Status
+	// is "queued" (1 = next to run); 0 otherwise.
+	QueuePosition int `json:"queue_position,omitempty"`
+	// Stats is the latest progress snapshot (Options.OnStats), present once
+	// the search has ticked at least once.
+	Stats *SearchStats `json:"stats,omitempty"`
+	// DroppedEvents counts events this job's subscribers lost to bounded
+	// stream rings (journal truncation is Stats.DroppedEvents).
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
+	// Error is the failure detail once a job finished unsuccessfully; the
+	// SSE stream carries the same detail as its terminal error frame.
+	Error *ErrorDetail `json:"error,omitempty"`
+}
+
+// JobEvent is the wire form of one recorder event in an SSE `event` frame:
+// the control-plane kinds a stream forwards (level_start, goal_matched,
+// degraded, escalated), not the full journal.
+type JobEvent struct {
+	// Kind is the event kind word (telemetry.EventKind.String).
+	Kind string `json:"kind"`
+	// Search is the 1-based search id within the job (one per query of an
+	// analysis, one per escalation attempt of a raw query).
+	Search int32 `json:"search"`
+	// Depth is the BFS depth the event belongs to.
+	Depth int32 `json:"depth"`
+	// N is the kind-specific count: frontier size (level_start), states
+	// explored (goal_matched), memory estimate (degraded), next budget
+	// (escalated).
+	N int64 `json:"n,omitempty"`
+	// Rule is the rule name when the kind carries one.
+	Rule string `json:"rule,omitempty"`
+	// TNS is the event's monotonic timestamp in nanoseconds since the
+	// job recorder's epoch.
+	TNS int64 `json:"t_ns"`
+}
+
+// VersionInfo is the build identity debug.ReadBuildInfo exposes: enough for
+// "what exactly is running here" across a fleet.
+type VersionInfo struct {
+	// Module is the main module path.
+	Module string `json:"module"`
+	// ModuleVersion is the module's version ("(devel)" for source builds).
+	ModuleVersion string `json:"module_version,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and Time are the VCS commit and commit time, when the build
+	// had VCS metadata stamped.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// VersionResponse reports the server's build identity. GET /v1/version.
+type VersionResponse struct {
+	APIVersion string `json:"api_version"`
+	VersionInfo
 }
 
 // ErrorResponse is the uniform error envelope every endpoint returns on

@@ -10,6 +10,7 @@ import (
 	"privanalyzer/internal/core"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
+	"privanalyzer/internal/telemetry"
 )
 
 // Options maps the wire knobs onto the engine's option surface. This is the
@@ -128,13 +129,21 @@ func witnessSteps(w []rewrite.Step) []string {
 	return out
 }
 
-// statsOf converts the engine snapshot to its wire subset; nil in, nil out.
-func statsOf(st *rewrite.SearchStats) *SearchStats {
+// FromSearchStats converts the engine snapshot to its wire subset; nil in,
+// nil out. It serves both the per-verdict Stats field and the job stream's
+// progress frames, so a snapshot means the same thing on every surface.
+func FromSearchStats(st *rewrite.SearchStats) *SearchStats {
 	if st == nil {
 		return nil
 	}
+	frontier := 0
+	if n := len(st.Frontier); n > 0 {
+		frontier = st.Frontier[n-1]
+	}
 	return &SearchStats{
+		StatesExplored:      st.StatesExplored,
 		Depth:               st.Depth,
+		Frontier:            frontier,
 		DedupHits:           st.DedupHits,
 		StatesPerSec:        st.StatesPerSec(),
 		RulesSkippedByIndex: st.RulesSkippedByIndex,
@@ -142,6 +151,24 @@ func statsOf(st *rewrite.SearchStats) *SearchStats {
 		CacheHits:           st.CacheHits,
 		CacheMisses:         st.CacheMisses,
 		InternerSize:        st.InternerSize,
+		ElapsedNS:           st.Elapsed.Nanoseconds(),
+		DegradedAt:          st.DegradedAt,
+		DroppedEvents:       st.DroppedEvents,
+	}
+}
+
+// statsOf keeps the short name for this file's conversion call sites.
+func statsOf(st *rewrite.SearchStats) *SearchStats { return FromSearchStats(st) }
+
+// FromEvent converts one recorder event to its wire form.
+func FromEvent(ev telemetry.Event) JobEvent {
+	return JobEvent{
+		Kind:   ev.Kind.String(),
+		Search: ev.Search,
+		Depth:  ev.Depth,
+		N:      ev.N,
+		Rule:   ev.Rule,
+		TNS:    ev.T,
 	}
 }
 

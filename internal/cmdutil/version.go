@@ -1,0 +1,69 @@
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime/debug"
+
+	"privanalyzer/internal/api"
+)
+
+// Version reports the running binary's build identity from the information
+// the Go toolchain embeds (debug.ReadBuildInfo): module path and version,
+// toolchain, and — when the build had VCS metadata — the commit, commit
+// time, and dirty flag. Every binary's -version flag and the daemon's
+// GET /v1/version serve this same struct, so "what exactly is deployed" has
+// one answer across the CLI and the fleet.
+func Version() api.VersionInfo {
+	info := api.VersionInfo{Module: "privanalyzer"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	info.ModuleVersion = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// VersionFlag registers -version on fs. After fs.Parse, a true value means
+// the command should call PrintVersion and exit 0.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print the build identity (module, go toolchain, VCS revision) and exit")
+}
+
+// PrintVersion renders the build identity as human-readable lines.
+func PrintVersion(w io.Writer, name string) {
+	v := Version()
+	fmt.Fprintf(w, "%s %s", name, v.ModuleVersion)
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(w, " (%s", rev)
+		if v.Modified {
+			fmt.Fprint(w, "-dirty")
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  module: %s\n", v.Module)
+	fmt.Fprintf(w, "  go:     %s\n", v.GoVersion)
+	if v.Time != "" {
+		fmt.Fprintf(w, "  built:  %s\n", v.Time)
+	}
+}

@@ -634,10 +634,18 @@ func (e *engine) memEstimate(frontierLen int) int64 {
 // cache and switches to uncached expansion; a breach after that stops the
 // search with a truncated, degraded result. Reports whether the search must
 // stop.
-func (e *engine) checkMemBudget(opts Options, frontierLen int, res *SearchResult, stats *SearchStats) bool {
-	if opts.MemBudget <= 0 || e.memEstimate(frontierLen) <= opts.MemBudget {
+func (e *engine) checkMemBudget(opts Options, depth, frontierLen int, res *SearchResult, stats *SearchStats) bool {
+	if opts.MemBudget <= 0 {
 		return false
 	}
+	est := e.memEstimate(frontierLen)
+	if est <= opts.MemBudget {
+		return false
+	}
+	// Both rungs of the ladder are journal (and live-stream) events: a
+	// degraded query is exactly the kind a fleet operator needs to spot
+	// while it runs, not after.
+	e.rec.CommitEvent(telemetry.EvDegraded, e.search, depth, 0, "", est)
 	if stats.DegradedAt == 0 {
 		stats.DegradedAt = res.StatesExplored
 		e.cache.Shed()
@@ -720,7 +728,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			res.Interrupted = true
 			return nil
 		}
-		if e.checkMemBudget(opts, len(frontier), res, stats) {
+		if e.checkMemBudget(opts, depth, len(frontier), res, stats) {
 			return nil
 		}
 		tk.snapshot(depth, frontier, stats, res.StatesExplored)
@@ -865,7 +873,7 @@ func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 		}
 		// DFS has no level boundaries; run the memory watch every 1024
 		// visited states instead.
-		if res.StatesExplored&1023 == 0 && e.checkMemBudget(opts, len(stack), res, stats) {
+		if res.StatesExplored&1023 == 0 && e.checkMemBudget(opts, stats.Depth, len(stack), res, stats) {
 			return nil
 		}
 		n := stack[len(stack)-1]

@@ -34,6 +34,7 @@ func normalize(t *testing.T, raw []byte) []byte {
 			q.ElapsedNS = 0
 			if q.Stats != nil {
 				q.Stats.StatesPerSec = 0
+				q.Stats.ElapsedNS = 0
 			}
 		}
 	}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"privanalyzer/internal/api"
+	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/core"
 	"privanalyzer/internal/programs"
 )
@@ -17,9 +19,13 @@ const maxBodyBytes = 1 << 20
 
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/programs", s.instrument("programs", s.handlePrograms))
+	mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_status", s.handleJobStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
 	RegisterDiagnostics(mux, s.reg, s.Ready)
 	return mux
 }
@@ -48,18 +54,134 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
-// runError maps a run() failure to its HTTP response.
-func (s *Server) runError(w http.ResponseWriter, err error) {
+// errorForRun maps an execution failure to its HTTP status, wire code, and
+// message — shared by the synchronous response path and the job outcome.
+func errorForRun(err error) (int, string, string) {
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, api.CodeSaturated, err.Error())
+		return http.StatusServiceUnavailable, api.CodeSaturated, err.Error()
 	case errors.Is(err, context.Canceled):
-		// The client went away while the job was queued; the envelope is
-		// best-effort (nobody may read it).
-		s.writeError(w, http.StatusServiceUnavailable, api.CodeCanceled, "request cancelled before execution")
+		// The client went away while the work was queued (or the drain
+		// window closed under a job); the envelope is best-effort.
+		return http.StatusServiceUnavailable, api.CodeCanceled, "request cancelled before execution"
 	default:
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return http.StatusInternalServerError, api.CodeInternal, err.Error()
 	}
+}
+
+// runError maps a run() failure to its HTTP response.
+func (s *Server) runError(w http.ResponseWriter, err error) {
+	status, code, msg := errorForRun(err)
+	s.writeError(w, status, code, msg)
+}
+
+// requestError is a pre-admission validation failure: status + envelope.
+type requestError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func badRequest(err error) *requestError {
+	return &requestError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: err.Error()}
+}
+
+// prepared is an admitted request, validated and bound to its checker,
+// ready to run on a pool worker. The synchronous endpoints and the async
+// jobs subsystem both execute through prepared.run — the one code path from
+// request to response value — which is what makes a job's terminal result
+// frame byte-identical to the synchronous endpoint's body. The observer
+// (nil on the sync path) adds recording and progress streaming without
+// touching search semantics.
+type prepared struct {
+	kind     string // "analyze" or "query"
+	priority int
+	timeout  time.Duration
+	run      func(ctx context.Context, obs *jobObserver) (any, error)
+}
+
+// prepareAnalyze validates an analyze request and binds it to the program's
+// LRU-resident checker.
+func (s *Server) prepareAnalyze(req api.AnalyzeRequest) (*prepared, *requestError) {
+	if req.Program == "" {
+		return nil, &requestError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: "program is required"}
+	}
+	p, err := programs.ByName(req.Program)
+	if err != nil {
+		return nil, &requestError{status: http.StatusNotFound, code: api.CodeNotFound, msg: err.Error()}
+	}
+	req.Search = req.Search.OrDefaults(s.cfg.DefaultSearch)
+	opts, err := req.CoreOptions()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	opts.Checker = s.checkers.get(p.Name)
+	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
+	return &prepared{
+		kind:     "analyze",
+		priority: req.Priority,
+		timeout:  req.Search.Timeout.Std(),
+		run: func(ctx context.Context, obs *jobObserver) (any, error) {
+			o := opts
+			obs.attach(&o.Search)
+			a, err := core.AnalyzeContext(ctx, p, o)
+			if err != nil {
+				return nil, err
+			}
+			return api.FromAnalysis(a, req.Search.Stats), nil
+		},
+	}, nil
+}
+
+// prepareQuery validates a standalone query request. Ad-hoc queries share
+// one checker per extension flag (held in the LRU under reserved keys no
+// program name can collide with), so repeat queries amortize like repeat
+// analyses.
+func (s *Server) prepareQuery(req api.QueryRequest) (*prepared, *requestError) {
+	req.Search = req.Search.OrDefaults(s.cfg.DefaultSearch)
+	q, desc, err := req.Build()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	key := "\x00adhoc"
+	if q.Extended {
+		key = "\x00adhoc-ext"
+	}
+	checker := s.checkers.get(key)
+	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
+	return &prepared{
+		kind:     "query",
+		priority: req.Priority,
+		timeout:  req.Search.Timeout.Std(),
+		run: func(ctx context.Context, obs *jobObserver) (any, error) {
+			obs.attach(&q.Options)
+			res, err := checker.Run(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			return api.QueryResponse{
+				APIVersion:  api.Version,
+				Description: desc,
+				Result:      api.FromResult(req.Attack, res, req.Search.Stats),
+			}, nil
+		},
+	}, nil
+}
+
+// serveSync runs a prepared request through the pool and writes the
+// response — the synchronous endpoints' tail.
+func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, p *prepared) {
+	var resp any
+	err := s.run(r.Context(), p.priority, p.timeout, func(ctx context.Context) error {
+		v, err := p.run(ctx, nil)
+		resp = v
+		return err
+	})
+	if err != nil {
+		s.runError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAnalyze runs the full pipeline for one modeled program on the
@@ -70,81 +192,35 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	if req.Program == "" {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "program is required")
+	p, perr := s.prepareAnalyze(req)
+	if perr != nil {
+		s.writeError(w, perr.status, perr.code, perr.msg)
 		return
 	}
-	p, err := programs.ByName(req.Program)
-	if err != nil {
-		s.writeError(w, http.StatusNotFound, api.CodeNotFound, err.Error())
-		return
-	}
-	req.Search = req.Search.OrDefaults(s.cfg.DefaultSearch)
-	opts, err := req.CoreOptions()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
-		return
-	}
-	opts.Checker = s.checkers.get(p.Name)
-	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
-
-	var resp *api.AnalyzeResponse
-	err = s.run(r.Context(), req.Priority, req.Search.Timeout.Std(), func(ctx context.Context) error {
-		a, err := core.AnalyzeContext(ctx, p, opts)
-		if err != nil {
-			return err
-		}
-		resp = api.FromAnalysis(a, req.Search.Stats)
-		return nil
-	})
-	if err != nil {
-		s.runError(w, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.serveSync(w, r, p)
 }
 
-// handleQuery runs one standalone ROSA query. Ad-hoc queries share one
-// checker per extension flag (held in the LRU under reserved keys no
-// program name can collide with), so repeat queries amortize like repeat
-// analyses.
+// handleQuery runs one standalone ROSA query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req api.QueryRequest
 	if err := decode(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	req.Search = req.Search.OrDefaults(s.cfg.DefaultSearch)
-	q, desc, err := req.Build()
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+	p, perr := s.prepareQuery(req)
+	if perr != nil {
+		s.writeError(w, perr.status, perr.code, perr.msg)
 		return
 	}
-	key := "\x00adhoc"
-	if q.Extended {
-		key = "\x00adhoc-ext"
-	}
-	checker := s.checkers.get(key)
-	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
+	s.serveSync(w, r, p)
+}
 
-	var resp api.QueryResponse
-	err = s.run(r.Context(), req.Priority, req.Search.Timeout.Std(), func(ctx context.Context) error {
-		res, err := checker.Run(ctx, q)
-		if err != nil {
-			return err
-		}
-		resp = api.QueryResponse{
-			APIVersion:  api.Version,
-			Description: desc,
-			Result:      api.FromResult(req.Attack, res, req.Search.Stats),
-		}
-		return nil
+// handleVersion reports the binary's build identity. GET /v1/version.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, api.VersionResponse{
+		APIVersion:  api.Version,
+		VersionInfo: cmdutil.Version(),
 	})
-	if err != nil {
-		s.runError(w, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePrograms lists the modeled programs /v1/analyze accepts.

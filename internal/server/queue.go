@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrSaturated reports an admission-control rejection: the pending queue is
@@ -18,11 +19,12 @@ var ErrClosed = errors.New("server: draining, not accepting work")
 // FIFO by sequence number. index is the heap slot (-1 once dequeued) so a
 // cancelled waiter can withdraw a still-pending job in O(log n).
 type job struct {
-	priority int
-	seq      uint64
-	run      func()
-	done     chan struct{}
-	index    int
+	priority   int
+	seq        uint64
+	run        func()
+	done       chan struct{}
+	index      int
+	enqueuedAt time.Time
 }
 
 // jobHeap orders pending jobs: max-priority first, FIFO within a priority.
@@ -68,6 +70,11 @@ type pool struct {
 	inflight int
 	closed   bool
 	wg       sync.WaitGroup
+
+	// onWait, when set before any submission, observes each job's queue
+	// wait (enqueue→dequeue) — the server feeds it into the
+	// server_queue_wait_ns histogram.
+	onWait func(time.Duration)
 }
 
 func newPool(workers, depth int) *pool {
@@ -93,8 +100,12 @@ func (p *pool) worker() {
 		}
 		j := heap.Pop(&p.pending).(*job)
 		p.inflight++
+		onWait := p.onWait
 		p.mu.Unlock()
 
+		if onWait != nil {
+			onWait(time.Since(j.enqueuedAt))
+		}
 		j.run()
 		close(j.done)
 
@@ -104,26 +115,32 @@ func (p *pool) worker() {
 	}
 }
 
-// submit enqueues fn and blocks until it has run, the queue rejects it, or
-// ctx is cancelled while it is still pending. Cancellation after a worker
-// picked the job waits for fn to return (fn observes the same ctx and winds
-// down promptly).
-func (p *pool) submit(ctx context.Context, priority int, fn func()) error {
+// enqueue admits fn into the queue without waiting for it to run — the
+// async half of submit, and what the jobs API is built on. The admission
+// decision (ErrSaturated/ErrClosed) is synchronous; the returned job
+// handle supports wait and position.
+func (p *pool) enqueue(priority int, fn func()) (*job, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if len(p.pending) >= p.depth {
 		p.mu.Unlock()
-		return ErrSaturated
+		return nil, ErrSaturated
 	}
-	j := &job{priority: priority, seq: p.seq, run: fn, done: make(chan struct{})}
+	j := &job{priority: priority, seq: p.seq, run: fn, done: make(chan struct{}), enqueuedAt: time.Now()}
 	p.seq++
 	heap.Push(&p.pending, j)
 	p.mu.Unlock()
 	p.cond.Signal()
+	return j, nil
+}
 
+// wait blocks until j has run, or ctx is cancelled while it is still
+// pending. Cancellation after a worker picked the job waits for fn to
+// return (fn observes the same ctx and winds down promptly).
+func (p *pool) wait(ctx context.Context, j *job) error {
 	select {
 	case <-j.done:
 		return nil
@@ -138,6 +155,34 @@ func (p *pool) submit(ctx context.Context, priority int, fn func()) error {
 		<-j.done // already running: the worker owns it to completion
 		return nil
 	}
+}
+
+// submit enqueues fn and blocks until it has run, the queue rejects it, or
+// ctx is cancelled while it is still pending — enqueue and wait in one call,
+// the synchronous endpoints' path.
+func (p *pool) submit(ctx context.Context, priority int, fn func()) error {
+	j, err := p.enqueue(priority, fn)
+	if err != nil {
+		return err
+	}
+	return p.wait(ctx, j)
+}
+
+// position reports j's 1-based place among pending jobs (1 = next to run),
+// or 0 once a worker has picked it up (or it was withdrawn).
+func (p *pool) position(j *job) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if j.index < 0 {
+		return 0
+	}
+	pos := 1
+	for _, o := range p.pending {
+		if o != j && (o.priority > j.priority || (o.priority == j.priority && o.seq < j.seq)) {
+			pos++
+		}
+	}
+	return pos
 }
 
 // saturated reports whether the next submit would be rejected.

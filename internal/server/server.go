@@ -25,6 +25,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"privanalyzer/internal/api"
@@ -50,20 +51,38 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown. 0 = 10s.
 	DrainTimeout time.Duration
+	// JobStatsInterval throttles async jobs' progress snapshots (the SSE
+	// stats frames). 0 keeps the engine's default cadence: one snapshot per
+	// completed depth level.
+	JobStatsInterval time.Duration
 	// Registry receives the server and engine metrics. Nil builds one.
 	Registry *telemetry.Registry
 	// Logger receives structured logs. Nil discards.
 	Logger *slog.Logger
 }
 
-// Server is the daemon: pool, checker LRU, metrics, and HTTP surface.
+// Server is the daemon: pool, checker LRU, jobs registry, metrics, and HTTP
+// surface.
 type Server struct {
 	cfg      Config
 	reg      *telemetry.Registry
 	log      *slog.Logger
 	pool     *pool
 	checkers *checkerLRU
+	jobs     *jobRegistry
 	mux      *http.ServeMux
+
+	// base is the context async jobs (and Serve's requests) descend from: a
+	// client dropping its SSE stream must not cancel the job it watches, so
+	// job execution is scoped to the server's lifetime, not the request's.
+	// killBase fires after the drain window closes.
+	base     context.Context
+	killBase context.CancelFunc
+
+	// drainCh closes when drain begins — the SSE streams' cue to emit a
+	// typed shutdown frame while their jobs finish.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds a Server and starts its worker pool. Metrics the operators
@@ -96,18 +115,35 @@ func New(cfg Config) *Server {
 		log:      log,
 		pool:     newPool(cfg.Concurrency, cfg.QueueDepth),
 		checkers: newCheckerLRU(cfg.Checkers),
+		jobs:     newJobRegistry(),
+		drainCh:  make(chan struct{}),
 	}
+	s.base, s.killBase = context.WithCancel(context.Background())
+	s.pool.onWait = func(d time.Duration) { s.reg.Timer("server_queue_wait_ns").Observe(d) }
 	for _, name := range []string{
 		"server_requests_total", "server_errors_total",
 		"server_rejected_total",
+		"server_jobs_total",
 		"rosa_queries_total",
 		"rosa_succ_cache_hits_total", "rosa_succ_cache_misses_total",
+		"rosa_recorder_dropped_events_total",
 	} {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge("server_queue_pending")
 	s.reg.Gauge("server_queue_inflight")
 	s.reg.Gauge("server_checkers_resident")
+	s.reg.Gauge("server_jobs_resident")
+	// The serving histograms' steady-state schema: the happy-path status per
+	// route is visible (at zero) from boot; error statuses appear on first
+	// occurrence.
+	s.reg.Timer("server_queue_wait_ns")
+	for _, route := range []string{
+		"analyze", "query", "programs", "version", "job_status", "job_events",
+	} {
+		s.reg.Timer("server_http_" + route + "_200_ns")
+	}
+	s.reg.Timer("server_http_jobs_202_ns") // job submission acknowledges with 202
 	s.mux = s.routes()
 	return s
 }
@@ -125,9 +161,20 @@ func (s *Server) Ready() error {
 	return nil
 }
 
+// beginDrain flips the server into draining: SSE streams see drainCh close
+// and tell their subscribers. Idempotent.
+func (s *Server) beginDrain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
 // Close stops admissions and waits for queued and in-flight work to finish.
-// For direct-Handler users (tests); Serve calls it during drain.
-func (s *Server) Close() { s.pool.drain() }
+// For direct-Handler users (tests); Serve runs the same sequence during
+// drain with the HTTP shutdown interleaved.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.pool.drain()
+	s.killBase()
+}
 
 // run pushes fn through the admission queue and executes it with the
 // server's telemetry context and the effective request timeout. The
@@ -141,7 +188,11 @@ func (s *Server) run(parent context.Context, priority int, timeout time.Duration
 	var err error
 	submitErr := s.pool.submit(parent, priority, func() {
 		ctx := telemetry.NewContext(parent, s.reg)
-		ctx = telemetry.WithLogger(ctx, s.log)
+		lg := s.log
+		if id := telemetry.RequestID(parent); id != "" {
+			lg = lg.With("request_id", id)
+		}
+		ctx = telemetry.WithLogger(ctx, lg)
 		if timeout <= 0 {
 			timeout = s.cfg.RequestTimeout
 		}
@@ -164,14 +215,13 @@ func (s *Server) run(parent context.Context, priority int, timeout time.Duration
 // Serve accepts on ln until ctx cancels, then drains: admissions stop,
 // in-flight handlers get DrainTimeout to finish, stragglers are cancelled.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	// Request contexts descend from lifetime, not ctx: the shutdown signal
-	// must stop admissions, not abort work already accepted. lifetime
-	// cancels only after the drain window closes.
-	lifetime, kill := context.WithCancel(context.Background())
-	defer kill()
+	// Request contexts descend from s.base, not ctx: the shutdown signal
+	// must stop admissions, not abort work already accepted. base cancels
+	// only after the drain window closes.
+	defer s.killBase()
 	hs := &http.Server{
 		Handler:     s.Handler(),
-		BaseContext: func(net.Listener) context.Context { return lifetime },
+		BaseContext: func(net.Listener) context.Context { return s.base },
 	}
 	served := make(chan error, 1)
 	go func() { served <- hs.Serve(ln) }()
@@ -181,11 +231,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	s.log.Info("server draining", "component", "server", "timeout", s.cfg.DrainTimeout)
+	s.beginDrain()
 	s.pool.close()
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := hs.Shutdown(dctx)
-	kill()
+	s.killBase()
 	s.pool.drain()
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err

@@ -4,6 +4,7 @@ import "context"
 
 type regKey struct{}
 type spanKey struct{}
+type requestIDKey struct{}
 
 // NewContext returns ctx carrying the registry. Every pipeline layer reads
 // it back with FromContext; an absent registry disables telemetry for the
@@ -31,16 +32,37 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// WithRequestID returns ctx carrying a request-scoped correlation id. The
+// server stamps every request with one (the X-Request-ID header, generated
+// if absent); StartSpan and the serving log records pick it up so a single
+// id joins logs, spans, and the SSE job stream of one request.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the correlation id carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
 // StartSpan opens a span on ctx's registry, parented under ctx's current
 // span, and returns it together with a derived context in which it is the
 // current span. With no registry on ctx it returns (nil, ctx) — the nil span
 // is safe to End — so call sites instrument unconditionally. When ctx also
 // carries a logger (WithLogger), the span emits "span begin"/"span end"
-// debug records.
+// debug records. When ctx carries a correlation id (WithRequestID), the span
+// gets a request_id label.
 func StartSpan(ctx context.Context, name string, kv ...string) (*Span, context.Context) {
 	r := FromContext(ctx)
 	if r == nil {
 		return nil, ctx
+	}
+	if id := RequestID(ctx); id != "" {
+		kv = append(append(make([]string, 0, len(kv)+2), kv...), "request_id", id)
 	}
 	s := r.StartSpan(name, SpanFromContext(ctx), kv...)
 	if lg := loggerOrNil(ctx); lg != nil {
