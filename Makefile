@@ -26,7 +26,7 @@ test-race:
 # escalation transparency, checkpoint/resume equivalence, memory
 # degradation, and the cmd-level signal/checkpoint plumbing (DESIGN.md §9).
 test-chaos:
-	$(GO) test -race -run 'Chaos|Fault|Checkpoint|Resume|Escalat|Degrad|Panic|Cancel|Signal|Shed|Latency' \
+	$(GO) test -race -run 'Chaos|Fault|Checkpoint|Resume|Escalat|Degrad|Panic|Cancel|Signal|Shed|Latency|Compile' \
 		./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/cmdutil/ ./cmd/rosa/
 
 # Quick full benchmark sweep (one iteration per cell); the default

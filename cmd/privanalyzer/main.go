@@ -68,6 +68,7 @@ func run(args []string) (code int) {
 		noIndex     = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
 		noIntern    = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
 		noCache     = fs.Bool("no-cache", false, "disable the cross-query transition cache (ablation)")
+		noCompile   = fs.Bool("no-compile", false, "disable compiled rule matchers; match every rule through the interpreter (ablation)")
 		telemJSON   = fs.String("telemetry-json", "", "write the run's telemetry (spans and metrics) as JSONL to this file")
 		promPath    = fs.String("prom", "", "write the run's metrics in Prometheus text exposition format to this file")
 		pprofAddr   = fs.String("pprof", "", `serve net/http/pprof plus /healthz, /readyz, and /metrics on this address while the run executes (e.g. "localhost:6060"; off by default)`)
@@ -97,6 +98,7 @@ func run(args []string) (code int) {
 	searchOpts.NoIndex = *noIndex
 	searchOpts.NoIntern = *noIntern
 	searchOpts.NoCache = *noCache
+	searchOpts.NoCompile = *noCompile
 	opts := core.Options{Search: searchOpts, Parallel: *parallel}
 	ctx := telemetry.WithLogger(context.Background(), logger)
 	var reg *telemetry.Registry
@@ -276,6 +278,10 @@ func run(args []string) (code int) {
 			for _, pr := range a.Phases {
 				sts = append(sts, pr.Stats[:]...)
 			}
+		}
+		if line := report.CompileSummary(sts); line != "" {
+			fmt.Println(line)
+			fmt.Println()
 		}
 		if prof := report.MergeRuleProfiles(sts); prof != nil {
 			fmt.Println(report.RuleProfileTable(prof))

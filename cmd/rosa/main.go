@@ -65,8 +65,9 @@ func run(args []string) int {
 		uidArg   = fs.String("uid", "1000,1000,1000", "real,effective,saved uid")
 		gidArg   = fs.String("gid", "1000,1000,1000", "real,effective,saved gid")
 		syscalls = fs.String("syscalls", "open,chown,setuid,setresuid,setgid,setresgid,kill,socket,bind,connect", "comma-separated syscall inventory")
-		noIndex  = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
-		noIntern = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
+		noIndex   = fs.Bool("no-index", false, "disable the successor engine's rule index (ablation)")
+		noIntern  = fs.Bool("no-intern", false, "disable term interning; also disables the transition cache (ablation)")
+		noCompile = fs.Bool("no-compile", false, "disable compiled rule matchers; match every rule through the interpreter (ablation)")
 		example  = fs.Bool("example", false, "run the paper's worked example (Figures 2-4) instead")
 		query    = fs.String("query", "", "run a query file (rosa.ParseQuery format) instead")
 		maude    = fs.Bool("maude", false, "also print the query in the paper's Maude syntax")
@@ -98,7 +99,7 @@ func run(args []string) int {
 	}
 	rep := reporter{
 		search:  search,
-		noIndex: *noIndex, noIntern: *noIntern,
+		noIndex: *noIndex, noIntern: *noIntern, noCompile: *noCompile,
 		explain: *explain, progress: *progress,
 		ckptOut: *ckptOut, ckptEvery: *ckptEvr, resume: *resume,
 		logger: logger,
@@ -216,6 +217,7 @@ type reporter struct {
 	search    cmdutil.SearchFlags
 	noIndex   bool
 	noIntern  bool
+	noCompile bool
 	explain   bool
 	progress  time.Duration
 	ckptOut   string
@@ -235,6 +237,7 @@ func (r reporter) report(what string, q *rosa.Query) int {
 	}
 	q.NoIndex = r.noIndex
 	q.NoIntern = r.noIntern
+	q.NoCompile = r.noCompile
 	if r.ckptOut != "" {
 		q.Checkpoint = cmdutil.FileSink(r.ckptOut, r.ckptEvery)
 	}

@@ -79,6 +79,11 @@ type SearchParams struct {
 	// Stats includes the per-query engine statistics (and enables the rule
 	// profiler) in the response. CLI: -stats.
 	Stats bool `json:"stats,omitempty"`
+	// NoCompile disables the compiled rule matchers for this request; every
+	// rule attempt runs through the generic interpreter. Results are
+	// byte-identical either way — the knob exists for ablation and
+	// benchmarking the interpreter baseline. CLI: -no-compile.
+	NoCompile bool `json:"no_compile,omitempty"`
 }
 
 // OrDefaults fills zero-valued knobs from d (a server's standing defaults);
@@ -100,6 +105,7 @@ func (p SearchParams) OrDefaults(d SearchParams) SearchParams {
 		p.Timeout = d.Timeout
 	}
 	p.Stats = p.Stats || d.Stats
+	p.NoCompile = p.NoCompile || d.NoCompile
 	return p
 }
 
@@ -196,7 +202,13 @@ type SearchStats struct {
 	SubtreesPruned      int64   `json:"subtrees_pruned"`
 	CacheHits           int64   `json:"cache_hits"`
 	CacheMisses         int64   `json:"cache_misses"`
-	InternerSize        int64   `json:"interner_size"`
+	// CompiledRules counts rules with compiled matchers; CompiledMatches and
+	// FallbackMatches split rule attempts between the compiled matchers and
+	// the interpreter (both zero under no_compile).
+	CompiledRules   int   `json:"compiled_rules,omitempty"`
+	CompiledMatches int64 `json:"compiled_matches,omitempty"`
+	FallbackMatches int64 `json:"fallback_matches,omitempty"`
+	InternerSize    int64 `json:"interner_size"`
 	// ElapsedNS is wall-clock time into the search — nondeterministic, like
 	// QueryResult.ElapsedNS, and zeroed by byte-identity comparisons.
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`

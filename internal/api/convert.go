@@ -24,6 +24,7 @@ func (p SearchParams) Options() (rewrite.Options, error) {
 		Workers:   p.Workers,
 		MemBudget: p.MemBudget,
 		Profile:   p.Stats,
+		NoCompile: p.NoCompile,
 	}
 	if err := ApplyEscalate(p.Escalate, &o); err != nil {
 		return rewrite.Options{}, err
@@ -92,6 +93,7 @@ func (p SearchParams) Apply(q *rosa.Query) error {
 		q.MemBudget = opts.MemBudget
 	}
 	q.Profile = q.Profile || opts.Profile
+	q.NoCompile = q.NoCompile || opts.NoCompile
 	if opts.Escalate != (rewrite.Escalation{}) {
 		q.Escalate = opts.Escalate
 	}
@@ -150,6 +152,9 @@ func FromSearchStats(st *rewrite.SearchStats) *SearchStats {
 		SubtreesPruned:      st.SubtreesPruned,
 		CacheHits:           st.CacheHits,
 		CacheMisses:         st.CacheMisses,
+		CompiledRules:       st.CompiledRules,
+		CompiledMatches:     st.CompiledMatches,
+		FallbackMatches:     st.FallbackMatches,
 		InternerSize:        st.InternerSize,
 		ElapsedNS:           st.Elapsed.Nanoseconds(),
 		DegradedAt:          st.DegradedAt,

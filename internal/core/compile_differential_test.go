@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"privanalyzer/internal/programs"
+	"privanalyzer/internal/rewrite"
+)
+
+// TestDifferentialCompileGrid pins the compiled matchers against the
+// interpreter over the full Figure 5-11 grid: with compilation on (the
+// default) and off (NoCompile), every program, phase, and attack must agree
+// on verdicts, state counts, frontier shapes, rule firings, and dedup hits —
+// at Workers 1 and 4, and on top of the naive engine (no index, no intern,
+// no cache) as well, so the compile toggle is differential against every
+// other optimization axis. The compile counters themselves are asserted
+// separately: they are the one place the two runs are allowed to differ.
+func TestDifferentialCompileGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid differential test; skipped with -short")
+	}
+	ctx := context.Background()
+	bases := []struct {
+		name string
+		opts func(w int) rewrite.Options
+	}{
+		{"fast", func(w int) rewrite.Options { return rewrite.Options{Workers: w} }},
+		{"naive", func(w int) rewrite.Options { return naiveSearch(rewrite.Options{Workers: w}) }},
+	}
+	for _, name := range programs.Names() {
+		p, err := programs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range bases {
+			for _, w := range []int{1, 4} {
+				if base.name == "naive" && w != 1 {
+					continue // the naive axis needs one worker count; fast covers both
+				}
+				compiled, err := AnalyzeContext(ctx, p, Options{Search: base.opts(w)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				interpOpts := base.opts(w)
+				interpOpts.NoCompile = true
+				interp, err := AnalyzeContext(ctx, p, Options{Search: interpOpts})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(compiled.Phases) != len(interp.Phases) {
+					t.Fatalf("%s %s workers=%d: phase counts differ", name, base.name, w)
+				}
+				for pi := range compiled.Phases {
+					cp, ip := &compiled.Phases[pi], &interp.Phases[pi]
+					for ai := range cp.Verdicts {
+						if cp.Verdicts[ai] != ip.Verdicts[ai] || cp.States[ai] != ip.States[ai] {
+							t.Errorf("%s %s %s attack%d workers=%d: compiled (%s, %d states) vs interpreted (%s, %d states)",
+								name, base.name, cp.Spec.Name, ai+1, w,
+								cp.Verdicts[ai], cp.States[ai], ip.Verdicts[ai], ip.States[ai])
+						}
+						cs, is := cp.Stats[ai], ip.Stats[ai]
+						if (cs == nil) != (is == nil) {
+							t.Errorf("%s %s %s attack%d workers=%d: stats presence differs",
+								name, base.name, cp.Spec.Name, ai+1, w)
+							continue
+						}
+						if cs == nil {
+							continue
+						}
+						if fmt.Sprint(cs.Frontier) != fmt.Sprint(is.Frontier) ||
+							fmt.Sprint(cs.RuleFirings) != fmt.Sprint(is.RuleFirings) ||
+							cs.DedupHits != is.DedupHits {
+							t.Errorf("%s %s %s attack%d workers=%d: search stats diverge (frontier %v vs %v)",
+								name, base.name, cp.Spec.Name, ai+1, w, cs.Frontier, is.Frontier)
+						}
+						// The one sanctioned divergence: the compile counters.
+						if is.CompiledRules != 0 || is.CompiledMatches != 0 {
+							t.Errorf("%s %s %s attack%d workers=%d: NoCompile run reports compile activity (%d rules, %d matches)",
+								name, base.name, cp.Spec.Name, ai+1, w, is.CompiledRules, is.CompiledMatches)
+						}
+						if cs.CompiledRules == 0 && cs.CompiledMatches+cs.FallbackMatches > 0 {
+							t.Errorf("%s %s %s attack%d workers=%d: compiled run attempted %d matches with no compiled rules",
+								name, base.name, cp.Spec.Name, ai+1, w, cs.CompiledMatches+cs.FallbackMatches)
+						}
+					}
+				}
+				if fmt.Sprint(compiled.VulnerableShare) != fmt.Sprint(interp.VulnerableShare) {
+					t.Errorf("%s %s workers=%d: vulnerable shares diverge", name, base.name, w)
+				}
+			}
+		}
+	}
+}

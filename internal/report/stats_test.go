@@ -110,6 +110,34 @@ func TestMergeRuleProfiles(t *testing.T) {
 	}
 }
 
+func TestCompileSummary(t *testing.T) {
+	if CompileSummary(nil) != "" {
+		t.Error("no stats should summarize empty")
+	}
+	if CompileSummary([]*rewrite.SearchStats{nil, {CompiledRules: 17}}) != "" {
+		t.Error("stats without attempts should summarize empty")
+	}
+	got := CompileSummary([]*rewrite.SearchStats{
+		{CompiledRules: 17, CompiledMatches: 30, FallbackMatches: 10},
+		nil,
+		{CompiledRules: 17, CompiledMatches: 45, FallbackMatches: 15},
+	})
+	for _, want := range []string{
+		"17 rules compiled", // per-System max, not 34
+		"75 compiled / 25 interpreted attempts",
+		"75.0% compiled",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	// -no-compile runs still render: all attempts counted as interpreted.
+	got = CompileSummary([]*rewrite.SearchStats{{FallbackMatches: 42}})
+	if !strings.Contains(got, "0 rules compiled") || !strings.Contains(got, "0.0% compiled") {
+		t.Errorf("interpreter-only summary = %q", got)
+	}
+}
+
 func TestHotBlocksTableNil(t *testing.T) {
 	if HotBlocksTable(nil, 5) != "" {
 		t.Error("nil profile should render empty")

@@ -335,3 +335,84 @@ func TestChaosNoFaultIsCleanRun(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosCompileDifferential extends the fault-plan chaos matrix across
+// the compile toggle: the same injected fault must produce the same outcome
+// — error shape, partial result, interruption flags, explored states —
+// whether the rules run through compiled matchers or the interpreter. At one
+// worker the faulted runs are fully deterministic, so everything is compared;
+// the latency plan never aborts, so its results must match the clean run's
+// verdict at any worker count.
+func TestChaosCompileDifferential(t *testing.T) {
+	goal := Goal{Pattern: NewConfig(NewOp("c", NewInt(6)), NewVar("Z", SortConfig))}
+	plans := []struct {
+		name string
+		mk   func() *faultinject.Plan
+	}{
+		{"err-at-expansion", func() *faultinject.Plan { return &faultinject.Plan{ErrAtExpansion: 4} }},
+		{"panic-at-expansion", func() *faultinject.Plan { return &faultinject.Plan{PanicAtExpansion: 3} }},
+		{"cancel-at-level", func() *faultinject.Plan { return &faultinject.Plan{CancelAtLevel: 2} }},
+	}
+	for _, pc := range plans {
+		t.Run(pc.name, func(t *testing.T) {
+			run := func(noCompile bool) (*SearchResult, error) {
+				return tokens(6).SearchContext(context.Background(), tokensInit3(), goal,
+					Options{Workers: 1, Faults: pc.mk(), NoCompile: noCompile})
+			}
+			resC, errC := run(false)
+			resI, errI := run(true)
+			if (errC == nil) != (errI == nil) {
+				t.Fatalf("fault outcomes diverge: compiled err=%v, interpreted err=%v", errC, errI)
+			}
+			if errC != nil {
+				var seC, seI *SearchError
+				if !errors.As(errC, &seC) || !errors.As(errI, &seI) {
+					t.Fatalf("errors are not *SearchError: compiled %T, interpreted %T", errC, errI)
+				}
+				if (seC.Panic == nil) != (seI.Panic == nil) {
+					t.Errorf("panic presence diverges: compiled %v, interpreted %v", seC.Panic, seI.Panic)
+				}
+			}
+			if (resC == nil) != (resI == nil) {
+				t.Fatalf("partial result presence diverges")
+			}
+			if resC == nil {
+				return
+			}
+			if resC.Found != resI.Found || resC.Interrupted != resI.Interrupted ||
+				resC.StatesExplored != resI.StatesExplored {
+				t.Errorf("partial results diverge: compiled (found=%v interrupted=%v states=%d) vs interpreted (found=%v interrupted=%v states=%d)",
+					resC.Found, resC.Interrupted, resC.StatesExplored,
+					resI.Found, resI.Interrupted, resI.StatesExplored)
+			}
+			if FormatWitness(resC.Witness) != FormatWitness(resI.Witness) {
+				t.Errorf("witnesses diverge:\ncompiled:\n%s\ninterpreted:\n%s",
+					FormatWitness(resC.Witness), FormatWitness(resI.Witness))
+			}
+		})
+	}
+	t.Run("expansion-latency", func(t *testing.T) {
+		for _, w := range []int{1, 4} {
+			run := func(noCompile bool, faults *faultinject.Plan) *SearchResult {
+				res, err := tokens(6).SearchContext(context.Background(), tokensInit3(), goal,
+					Options{Workers: w, Faults: faults, NoCompile: noCompile})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				return res
+			}
+			slowC := run(false, &faultinject.Plan{ExpansionLatency: 100 * time.Microsecond})
+			slowI := run(true, &faultinject.Plan{ExpansionLatency: 100 * time.Microsecond})
+			clean := run(false, nil)
+			for _, pair := range []struct {
+				name string
+				res  *SearchResult
+			}{{"compiled", slowC}, {"interpreted", slowI}} {
+				if pair.res.Found != clean.Found || pair.res.StatesExplored != clean.StatesExplored {
+					t.Errorf("workers=%d: latency-faulted %s run diverges from clean (found=%v states=%d vs found=%v states=%d)",
+						w, pair.name, pair.res.Found, pair.res.StatesExplored, clean.Found, clean.StatesExplored)
+				}
+			}
+		}
+	})
+}

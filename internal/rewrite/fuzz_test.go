@@ -41,3 +41,106 @@ func FuzzParseConfig(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCompileEquivalence is the compiled-matcher equivalence fuzzer: for
+// every pattern/subject pair the fuzzer invents, a rule whose pattern falls
+// inside the compilable fragment must produce byte-identical bindings — same
+// multiset of matches, same enumeration order — from the compiled matcher
+// and the interpreter's Match. The early-exit path (matchAny, backing goal
+// checks) must agree on match existence too. This is the contract the
+// differential search tests pin end-to-end, exercised here at the matcher
+// boundary with adversarial inputs.
+func FuzzCompileEquivalence(f *testing.F) {
+	seeds := [][2]string{
+		{"c(N:Int) Z:Configuration", "c(1) c(2) c(3)"},
+		{"c(N:Int) Z:Configuration", "c(1)"},
+		{"c(N:Int) Z:Configuration", "d(1) d(2)"},
+		{"c(X:Int) c(X:Int) Z:Configuration", "c(1) c(1) c(2)"},
+		{"c(X:Int) c(X:Int)", "c(1) c(2)"},
+		{"a b", "b a"},
+		{"a b", "a a b"},
+		{`f(g(h(1)),"x") Z:Configuration`, `f(g(h(1)),"x") k`},
+		{"p(X:Int,Y:Int) q(Y:Int) Z:Configuration", "p(1,2) q(2) q(3)"},
+		{"p(X:Universal) Z:Configuration", `p(f(1)) p("s") p(2)`},
+		{"Process(P:Int,E:Int) msg(P:Int) Z:Configuration",
+			"Process(1,0) msg(1) msg(2) Process(2,0)"},
+		{"c(1) c(2)", "c(2) c(1)"},
+		{"x(N:Int) x(M:Int) Z:Configuration", "x(1) x(2) x(3)"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, pat, subj string) {
+		if len(pat) > 120 || len(subj) > 160 {
+			t.Skip("oversized input")
+		}
+		lhs, err := ParseConfig(pat)
+		if err != nil {
+			t.Skip("unparseable pattern")
+		}
+		sub, err := ParseConfig(subj)
+		if err != nil {
+			t.Skip("unparseable subject")
+		}
+		if sub.HasVars() {
+			t.Skip("subjects are ground terms")
+		}
+		if len(lhs.Args) > 6 || len(sub.Args) > 8 {
+			t.Skip("bounded multiset sizes keep AC matching cheap")
+		}
+		rule := Rule{Name: "fuzz", LHS: lhs}
+		cc := Compile([]Rule{rule})
+		cr := cc.rules[0]
+		if cr == nil {
+			t.Skip("outside the compilable fragment")
+		}
+		want := Match(lhs, sub, nil)
+		m := cc.getScratch()
+		defer cc.putScratch(m)
+		got := cr.matchCompiled(sub, nil, m)
+		if renderBindings(got) != renderBindings(want) {
+			t.Fatalf("pattern %q vs subject %q:\ncompiled:\n%s\ninterpreted:\n%s",
+				pat, subj, renderBindings(got), renderBindings(want))
+		}
+		if any := cr.matchAny(sub, nil, m); any != (len(want) > 0) {
+			t.Fatalf("pattern %q vs subject %q: matchAny=%v, interpreter found %d matches",
+				pat, subj, any, len(want))
+		}
+	})
+}
+
+// FuzzInternParts cross-checks the parts-probing interners against their
+// build-then-intern equivalents: InternConfig and InternOp must return the
+// exact canonical pointer Intern(NewConfig(...)) / Intern(NewOp(...)) does,
+// for any multiset of parts, including spliced configurations and duplicate
+// elements.
+func FuzzInternParts(f *testing.F) {
+	f.Add("c(1) c(2) c(3)", "d(4)")
+	f.Add("a a b", "")
+	f.Add("Process(1,0,0,0) msg(1)", "msg(1) msg(2)")
+	f.Add("", "k(9)")
+	f.Add(`"s" 7 f(g(1))`, "f(g(1))")
+	f.Fuzz(func(t *testing.T, part1, part2 string) {
+		if len(part1) > 120 || len(part2) > 120 {
+			t.Skip("oversized input")
+		}
+		a, err := ParseConfig(part1)
+		if err != nil {
+			t.Skip("unparseable part")
+		}
+		b, err := ParseConfig(part2)
+		if err != nil {
+			t.Skip("unparseable part")
+		}
+		if a.HasVars() || b.HasVars() {
+			t.Skip("interning is for ground states")
+		}
+		elems := append(append([]*Term{}, a.Args...), b)
+		if got, want := InternConfig(elems...), Intern(NewConfig(elems...)); got != want {
+			t.Fatalf("InternConfig(%q + %q) = %s, want canonical %s", part1, part2, got, want)
+		}
+		if got, want := InternOp("fz", a, b), Intern(NewOp("fz", a, b)); got != want {
+			t.Fatalf("InternOp(%q, %q) = %s, want canonical %s", part1, part2, got, want)
+		}
+	})
+}

@@ -145,8 +145,17 @@ func configEqual(a, b *Term) bool {
 	case 1:
 		return structEqual(a.Args[0], b.Args[0])
 	}
-	as := sortedByHash(a.Args)
-	bs := sortedByHash(b.Args)
+	// Fast path: both sides already in hash order. The canonical engine
+	// order (sortConfigArgs) is hash-ascending, so every comparison between
+	// interner candidates and bucket residents — the hottest caller — skips
+	// the copies and sorts entirely.
+	as, bs := a.Args, b.Args
+	if !hashSorted(as) {
+		as = sortedByHash(as)
+	}
+	if !hashSorted(bs) {
+		bs = sortedByHash(bs)
+	}
 	for i := 0; i < n; {
 		h := as[i].Hash()
 		if bs[i].Hash() != h {
@@ -169,6 +178,17 @@ func configEqual(a, b *Term) bool {
 			return false
 		}
 		i = j
+	}
+	return true
+}
+
+// hashSorted reports whether the elements are already in ascending hash
+// order (memoized hashes; one pass).
+func hashSorted(ts []*Term) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Hash() < ts[i-1].Hash() {
+			return false
+		}
 	}
 	return true
 }

@@ -183,26 +183,47 @@ func mergeIndexed(a, b []indexedRule) []indexedRule {
 }
 
 // at returns the rules to attempt at position t: the bucket for t's kind
-// and symbol, anchor-filtered for configurations. skipped receives the
-// number of rule attempts the index avoided at this position.
-func (ix *ruleIndex) at(t *Term, total int, buf []indexedRule) (tried []indexedRule, skipped int) {
+// and symbol, anchor-filtered for configurations. It is purely a candidate
+// selector — the caller (the expand walk) owns the RulesSkippedByIndex
+// accounting, computed in one place as total rules minus candidates, so the
+// counter cannot drift between call sites.
+func (ix *ruleIndex) at(t *Term, buf []indexedRule) []indexedRule {
 	switch t.Kind {
 	case Config:
 		eb := elemBits(t)
-		tried = buf[:0]
+		tried := buf[:0]
 		for _, ir := range ix.atConfig {
 			if ir.anchors&^eb != 0 {
 				continue // a required element symbol is absent
 			}
 			tried = append(tried, ir)
 		}
-		return tried, total - len(tried)
+		return tried
 	case Op:
 		if rs, ok := ix.atOp[t.Sym]; ok {
-			return rs, total - len(rs)
+			return rs
 		}
-		return ix.atAny, total - len(ix.atAny)
+		return ix.atAny
 	default:
-		return ix.atAny, total - len(ix.atAny)
+		return ix.atAny
 	}
+}
+
+// triedBufPool recycles the candidate buffer at() filters into, one per
+// in-flight expansion; getTriedBuf guarantees capacity for the Config
+// bucket, whose filtered view is the only bucket copied into the buffer.
+var triedBufPool = sync.Pool{New: func() any { return new([]indexedRule) }}
+
+func getTriedBuf(capacity int) []indexedRule {
+	p := triedBufPool.Get().(*[]indexedRule)
+	buf := *p
+	if cap(buf) < capacity {
+		buf = make([]indexedRule, 0, capacity)
+	}
+	return buf[:0]
+}
+
+func putTriedBuf(buf []indexedRule) {
+	buf = buf[:0]
+	triedBufPool.Put(&buf)
 }

@@ -61,6 +61,22 @@ func Intern(t *Term) *Term {
 	if t.interned.Load() {
 		return t
 	}
+	// Probe first: the structural hash is invariant under element order and
+	// interning, so a class that is already interned is found without
+	// canonicalizing t at all — no argument slice, no recursion, no
+	// rebuild. In a steady-state search almost every successor lands here
+	// (states repeat across interleavings), making the common Intern call
+	// allocation-free.
+	h0 := t.Hash()
+	s0 := &interner[h0&(internShards-1)]
+	s0.mu.Lock()
+	for _, u := range s0.m[h0] {
+		if structEqual(t, u) {
+			s0.mu.Unlock()
+			return u
+		}
+	}
+	s0.mu.Unlock()
 	// Hash-cons bottom-up: canonicalize the arguments first so that the
 	// bucket's structEqual confirmation hits pointer equality on shared
 	// subtrees and the stored term shares every subterm with its peers.
@@ -111,6 +127,150 @@ func Intern(t *Term) *Term {
 // InternerSize returns the number of canonical terms currently interned —
 // the interner occupancy the telemetry layer exposes.
 func InternerSize() int64 { return internedSize.Load() }
+
+// InternConfig returns the canonical configuration holding the given
+// elements — NewConfig followed by Intern, minus the allocation when the
+// class is already interned. It computes the configuration's structural
+// hash incrementally from the parts (splicing nested configurations, the
+// same associative flattening NewConfig performs), probes the interner,
+// and confirms membership with a multiset comparison over the parts — so
+// the hot path of successor construction, where a rule rebuilds a state
+// the search has already seen, allocates nothing at all. Only a genuinely
+// new class pays for NewConfig plus the interning slow path.
+//
+// Nil parts are skipped, matching NewConfig.
+func InternConfig(elems ...*Term) *Term {
+	// Mirror (*Term).Hash's Config case exactly: the probe key must equal
+	// the hash of the term NewConfig would build from these parts.
+	n := 0
+	sum := tagCfg
+	for _, e := range elems {
+		if e == nil {
+			continue
+		}
+		if e.Kind == Config {
+			n += len(e.Args)
+			for _, a := range e.Args {
+				sum += mix64(a.Hash() ^ tagCfg)
+			}
+		} else {
+			n++
+			sum += mix64(e.Hash() ^ tagCfg)
+		}
+	}
+	h := mix64(sum + uint64(n))
+	if h == 0 {
+		h = 1
+	}
+	s := &interner[h&(internShards-1)]
+	s.mu.Lock()
+	for _, u := range s.m[h] {
+		if configEqualParts(u, elems, n) {
+			s.mu.Unlock()
+			return u
+		}
+	}
+	s.mu.Unlock()
+	return Intern(NewConfig(elems...))
+}
+
+// InternOp returns the canonical constructor application of sym to args —
+// NewOp followed by Intern, minus every allocation when the class is
+// already interned. The probe hashes the application from its parts
+// (mirroring (*Term).Hash's Op case) and compares candidates argument by
+// argument, so the args slice never escapes on the hit path: rule
+// callbacks that rebuild a mostly-unchanged object (ROSA's process terms
+// on every firing) get the canonical pointer back for free.
+func InternOp(sym string, args ...*Term) *Term {
+	h := strHash(sym) ^ tagOp
+	for _, a := range args {
+		h = mix64(h ^ a.Hash())
+	}
+	if h == 0 {
+		h = 1
+	}
+	s := &interner[h&(internShards-1)]
+	s.mu.Lock()
+	for _, u := range s.m[h] {
+		if opEqualParts(u, sym, args) {
+			s.mu.Unlock()
+			return u
+		}
+	}
+	s.mu.Unlock()
+	cp := make([]*Term, len(args))
+	copy(cp, args)
+	return Intern(&Term{Kind: Op, Sym: sym, Args: cp})
+}
+
+// opEqualParts reports whether u equals the constructor application of sym
+// to args. Op arguments are ordered, so this is a pairwise comparison.
+func opEqualParts(u *Term, sym string, args []*Term) bool {
+	if u.Kind != Op || u.Sym != sym || len(u.Args) != len(args) {
+		return false
+	}
+	for i, a := range args {
+		if !structEqual(a, u.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// configEqualParts reports whether u (an interned configuration of n
+// elements) equals, as a multiset, the flattened elements of parts. Marks
+// live in a small stack buffer so the comparison allocates nothing for the
+// configurations this engine sees.
+func configEqualParts(u *Term, parts []*Term, n int) bool {
+	if u.Kind != Config || len(u.Args) != n {
+		return false
+	}
+	var buf [64]bool
+	used := buf[:]
+	if n > len(buf) {
+		used = make([]bool, n)
+	} else {
+		used = used[:n]
+	}
+	// Both u.Args and any spliced configuration among the parts are in
+	// canonical order, so matches land mostly in sequence; a rolling
+	// cursor makes the common lookup O(1) instead of a scan.
+	cur := 0
+	match := func(e *Term) bool {
+		h := e.Hash()
+		for k := 0; k < n; k++ {
+			j := cur + k
+			if j >= n {
+				j -= n
+			}
+			v := u.Args[j]
+			if !used[j] && v.Hash() == h && structEqual(e, v) {
+				used[j] = true
+				cur = j + 1
+				if cur == n {
+					cur = 0
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range parts {
+		if e == nil {
+			continue
+		}
+		if e.Kind == Config {
+			for _, a := range e.Args {
+				if !match(a) {
+					return false
+				}
+			}
+		} else if !match(e) {
+			return false
+		}
+	}
+	return true
+}
 
 // sortConfigArgs sorts configuration elements into the canonical engine
 // order: ascending structural hash, with hash ties broken by the canonical

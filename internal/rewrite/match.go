@@ -1,5 +1,7 @@
 package rewrite
 
+import "sync"
+
 // Signature assigns result sorts to constructor symbols, so sorted variables
 // (e.g. G:procState) only match terms of their sort. Integers always have
 // sort "Int", strings "String", and configurations "Configuration"; symbols
@@ -39,7 +41,9 @@ func (s Signature) SortOf(t *Term) string {
 // terms when reused (non-linear patterns).
 func Match(pattern, subject *Term, sig Signature) []Binding {
 	var out []Binding
-	match(pattern, subject, Binding{}, sig, func(b Binding) { out = append(out, b.clone()) })
+	b := getBinding()
+	match(pattern, subject, b, sig, func(b Binding) { out = append(out, b.clone()) })
+	putBinding(b)
 	return out
 }
 
@@ -47,9 +51,40 @@ func Match(pattern, subject *Term, sig Signature) []Binding {
 // binding.
 func Matches(pattern, subject *Term, sig Signature) bool {
 	found := false
-	match(pattern, subject, Binding{}, sig, func(Binding) { found = true })
+	b := getBinding()
+	match(pattern, subject, b, sig, func(Binding) { found = true })
+	putBinding(b)
 	return found
 }
+
+// bindingPool recycles the scratch Binding the matcher extends in place.
+// The backtracker leaves the map empty when enumeration finishes, so a
+// pooled map is indistinguishable from a fresh one; putBinding clears
+// defensively anyway. Callers of match hand the map to yield by reference —
+// the long-standing in-place contract — so yields (and rule callbacks) must
+// copy what they keep; pooling only recycles what was already scratch.
+var bindingPool = sync.Pool{New: func() any { return make(Binding, 8) }}
+
+func getBinding() Binding { return bindingPool.Get().(Binding) }
+
+func putBinding(b Binding) {
+	clear(b)
+	bindingPool.Put(b)
+}
+
+// configScratch holds matchConfig's per-invocation buffers: the fixed
+// element split, the injective-selection bitmap, and the remainder
+// collector. Pooled because matchConfig runs once per rule attempt at every
+// Config position — the interpreter's hottest allocation site before this
+// existed. Nested configuration patterns recurse into a second Get, so each
+// live invocation owns its scratch exclusively.
+type configScratch struct {
+	fixed []*Term
+	used  []bool
+	rem   []*Term
+}
+
+var configScratchPool = sync.Pool{New: func() any { return new(configScratch) }}
 
 // match enumerates bindings, invoking yield for each complete solution. The
 // binding passed in is extended in place and restored on backtrack.
@@ -105,13 +140,16 @@ func matchSeq(pats, subjs []*Term, i int, b Binding, sig Signature, yield func(B
 // most one configuration-sorted (or unsorted) variable element captures the
 // remainder.
 func matchConfig(pat, subj *Term, b Binding, sig Signature, yield func(Binding)) {
-	var fixed []*Term
+	sc := configScratchPool.Get().(*configScratch)
+	defer configScratchPool.Put(sc)
+	fixed := sc.fixed[:0]
 	var rest *Term
 	for _, e := range pat.Args {
 		if e.Kind == Var && (e.Sort == "" || e.Sort == SortConfig) {
 			if rest != nil {
 				// Two remainder variables are ambiguous; treat the second
 				// as unmatchable rather than guessing.
+				sc.fixed = fixed
 				return
 			}
 			rest = e
@@ -119,6 +157,7 @@ func matchConfig(pat, subj *Term, b Binding, sig Signature, yield func(Binding))
 		}
 		fixed = append(fixed, e)
 	}
+	sc.fixed = fixed // keep grown capacity for the next pooled use
 	if rest == nil && len(fixed) != len(subj.Args) {
 		return
 	}
@@ -126,7 +165,11 @@ func matchConfig(pat, subj *Term, b Binding, sig Signature, yield func(Binding))
 		return
 	}
 
-	used := make([]bool, len(subj.Args))
+	used := sc.used[:0]
+	for range subj.Args {
+		used = append(used, false)
+	}
+	sc.used = used
 	var assign func(i int)
 	assign = func(i int) {
 		if i == len(fixed) {
@@ -134,13 +177,14 @@ func matchConfig(pat, subj *Term, b Binding, sig Signature, yield func(Binding))
 				yield(b)
 				return
 			}
-			var remainder []*Term
+			remainder := sc.rem[:0]
 			for j, u := range used {
 				if !u {
 					remainder = append(remainder, subj.Args[j])
 				}
 			}
-			remTerm := NewConfig(remainder...)
+			sc.rem = remainder
+			remTerm := NewConfig(remainder...) // copies; the scratch is free to reuse
 			if prev, ok := b[rest.Sym]; ok {
 				if prev.Equal(remTerm) {
 					yield(b)

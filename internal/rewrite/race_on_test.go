@@ -1,0 +1,9 @@
+//go:build race
+
+package rewrite
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Its instrumentation allocates, so steady-state allocation pins
+// (TestMatchSteadyStateAllocs, TestCompiledApplyAllocs) skip under -race;
+// the no-race CI job still enforces them.
+const raceEnabled = true

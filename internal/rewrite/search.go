@@ -83,6 +83,14 @@ type Options struct {
 	// System carries one (System.Cache); successor sets are recomputed per
 	// search.
 	NoCache bool
+	// NoCompile disables the compiled rule matchers (compile.go): every rule
+	// attempt runs through the generic interpreter instead of its
+	// specialized matcher. Results are byte-identical either way — the
+	// compiled path's strict order-equivalence contract, pinned by the
+	// differential suite — so the toggle exists for ablation, benchmarking
+	// the interpreter baseline, and bisecting. Inverted (like NoDedup) so
+	// the zero value compiles.
+	NoCompile bool
 	// Escalate tunes adaptive budget escalation for callers that run the
 	// query through an escalating supervisor (rosa.Checker): attempts start
 	// at Escalate.Start states and grow geometrically until the verdict
@@ -186,6 +194,15 @@ type SearchStats struct {
 	// earlier query sharing the same System. Both zero when no cache is
 	// attached or caching is disabled.
 	CacheHits, CacheMisses int64
+	// CompiledRules is how many of the System's rules have compiled
+	// matchers (the rest fall back to the interpreter per attempt). Zero
+	// when compilation is disabled (Options.NoCompile).
+	CompiledRules int
+	// CompiledMatches and FallbackMatches split this search's rule attempts
+	// by engine: attempts served by a compiled matcher vs by the generic
+	// interpreter. Their sum plus RulesSkippedByIndex accounts for every
+	// candidate rule×position pair the walk considered.
+	CompiledMatches, FallbackMatches int64
 	// InternerSize is the process-global interned-term count when the
 	// snapshot was taken (an occupancy gauge, not a per-search delta).
 	InternerSize int64
@@ -317,6 +334,16 @@ func (st *SearchStats) StatesPerSec() float64 {
 	return float64(st.StatesExplored) / st.Elapsed.Seconds()
 }
 
+// CompiledShare is the fraction of rule attempts served by compiled
+// matchers (0 when nothing was attempted).
+func (st *SearchStats) CompiledShare() float64 {
+	total := st.CompiledMatches + st.FallbackMatches
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CompiledMatches) / float64(total)
+}
+
 // DedupRate is the fraction of generated successors rejected as already
 // visited.
 func (st *SearchStats) DedupRate() float64 {
@@ -338,6 +365,10 @@ func (st *SearchStats) String() string {
 	if st.RulesSkippedByIndex > 0 || st.SubtreesPruned > 0 {
 		fmt.Fprintf(&b, "rule index:       %d attempts skipped, %d subtrees pruned\n",
 			st.RulesSkippedByIndex, st.SubtreesPruned)
+	}
+	if st.CompiledMatches+st.FallbackMatches > 0 {
+		fmt.Fprintf(&b, "compiled match:   %d rules compiled; %d compiled / %d interpreted attempts (%.1f%% compiled)\n",
+			st.CompiledRules, st.CompiledMatches, st.FallbackMatches, 100*st.CompiledShare())
 	}
 	if st.CacheHits+st.CacheMisses > 0 {
 		fmt.Fprintf(&b, "transition cache: %d hits, %d misses (%.1f%% hit rate)\n",
@@ -456,6 +487,11 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 		stats.SubtreesPruned = e.subtreesPruned.Load()
 		stats.CacheHits = e.cacheHits.Load()
 		stats.CacheMisses = e.cacheMisses.Load()
+		if e.comp != nil {
+			stats.CompiledRules = e.comp.count
+		}
+		stats.CompiledMatches = e.compiledMatches.Load()
+		stats.FallbackMatches = e.fallbackMatches.Load()
 		if e.intern {
 			stats.InternerSize = InternerSize()
 		}
@@ -500,7 +536,8 @@ func (s *System) SearchContext(ctx context.Context, init *Term, goal Goal, opts 
 
 	// Goal states are recognised the moment they are generated, as Maude's
 	// search does, so a found verdict does not pay for the whole frontier.
-	if goal.matches(start, s.Sig) {
+	e.goalFn = e.goalChecker(goal)
+	if e.goalFn(start) {
 		res.Found = true
 		res.Final = start
 		if e.rec != nil {
@@ -670,7 +707,6 @@ func (e *engine) checkMemBudget(opts Options, depth, frontierLen int, res *Searc
 // progress fires OnStats (throttled by StatsInterval) after each completed
 // level, and additionally at chunk boundaries when an interval is set.
 func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, progress func()) error {
-	s := e.sys
 	visited := newVisitedSet(e.intern)
 	// The checkpoint tracker shadows the search (node table + level-start
 	// snapshots) only when checkpointing or resuming was requested; the
@@ -832,7 +868,7 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 					}
 					res.StatesExplored++
 					child := &node{state: st.Result, rule: st.Rule, parent: n, depth: depth + 1}
-					if goal.matches(st.Result, s.Sig) {
+					if e.goalFn(st.Result) {
 						mb.Record(telemetry.EvGoalMatched, depth+1, st.Result.Hash(), "", int64(res.StatesExplored))
 						res.Found = true
 						res.Final = st.Result
@@ -858,7 +894,6 @@ func (e *engine) searchBFS(ctx context.Context, start *Term, goal Goal, opts Opt
 // Recorder events go straight onto worker track 0 (there is one goroutine);
 // progress fires only when StatsInterval is set, since DFS has no levels.
 func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Options, res *SearchResult, stats *SearchStats, progress func()) error {
-	s := e.sys
 	visited := newVisitedSet(e.intern)
 	if !opts.NoDedup {
 		visited.add(start)
@@ -902,7 +937,7 @@ func (e *engine) searchDFS(ctx context.Context, start *Term, goal Goal, opts Opt
 			}
 			res.StatesExplored++
 			child := &node{state: st.Result, rule: st.Rule, parent: n, depth: n.depth + 1}
-			if goal.matches(st.Result, s.Sig) {
+			if e.goalFn(st.Result) {
 				mb.Record(telemetry.EvGoalMatched, n.depth+1, st.Result.Hash(), "", int64(res.StatesExplored))
 				res.Found = true
 				res.Final = st.Result

@@ -40,7 +40,9 @@ type Rule struct {
 // apply returns every replacement term the rule produces at the root of t.
 func (r *Rule) apply(t *Term, sig Signature) []*Term {
 	var out []*Term
-	match(r.LHS, t, Binding{}, sig, func(b Binding) {
+	scratch := getBinding()
+	defer putBinding(scratch)
+	match(r.LHS, t, scratch, sig, func(b Binding) {
 		if r.Cond != nil && !r.Cond(b) {
 			return
 		}
@@ -80,6 +82,9 @@ type System struct {
 	idxOnce sync.Once  // builds idx on first search
 	idx     *ruleIndex // successor index over Rules
 
+	compOnce sync.Once      // builds comp on first search
+	comp     *CompiledRules // compiled matchers over Rules (compile.go)
+
 	normMu    sync.Mutex      // guards normCache
 	normCache map[*Term]*Term // interned term -> interned normal form
 }
@@ -90,6 +95,16 @@ type System struct {
 func (s *System) index() *ruleIndex {
 	s.idxOnce.Do(func() { s.idx = buildRuleIndex(s.Rules) })
 	return s.idx
+}
+
+// compiled returns the compiled matcher set, building it on first use —
+// the same once-per-System contract as index(). A System cached by a
+// long-lived Checker therefore compiles its rules exactly once, and every
+// later query (CLI or server) reuses the matchers alongside the shared
+// TransitionCache.
+func (s *System) compiled() *CompiledRules {
+	s.compOnce.Do(func() { s.comp = Compile(s.Rules) })
+	return s.comp
 }
 
 // maxNormalizeSteps guards against non-terminating equation sets.
@@ -200,19 +215,28 @@ type engine struct {
 	idx    *ruleIndex
 	intern bool
 	cache  *TransitionCache
+	comp   *CompiledRules // compiled matchers; nil = interpret every rule
 	rp     *ruleProfiler
 
 	rec    *telemetry.Recorder // flight recorder; nil = recording off
 	search int32               // recorder search id (Recorder.BeginSearch)
 
+	// goalFn is the per-state goal predicate the search loops call — the
+	// goal pattern compiled with early exit when it fits the fragment,
+	// Goal.matches otherwise. Only the merge/DFS goroutine calls it, so it
+	// may close over unshared scratch. Set by SearchContext.
+	goalFn func(*Term) bool
+
 	faults       *faultinject.Plan  // fault-injection plan; nil = inject nothing
 	faultCancel  context.CancelFunc // cancels the search ctx for a CancelAtLevel fault
 	injCancelled bool               // a CancelAtLevel fault fired (written by the merge goroutine only)
 
-	rulesSkipped   atomic.Int64 // rule attempts avoided by the index
-	subtreesPruned atomic.Int64 // subtrees skipped by the bitmap filter
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
+	rulesSkipped    atomic.Int64 // rule attempts avoided by the index
+	subtreesPruned  atomic.Int64 // subtrees skipped by the bitmap filter
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	compiledMatches atomic.Int64 // rule attempts served by compiled matchers
+	fallbackMatches atomic.Int64 // rule attempts served by the interpreter
 }
 
 // engine builds the successor engine for one search or Successors call.
@@ -220,6 +244,9 @@ func (s *System) engine(opts Options, rp *ruleProfiler) *engine {
 	e := &engine{sys: s, rp: rp, intern: !opts.NoIntern, faults: opts.Faults}
 	if !opts.NoIndex {
 		e.idx = s.index()
+	}
+	if !opts.NoCompile {
+		e.comp = s.compiled()
 	}
 	if e.intern && !opts.NoCache {
 		e.cache = s.Cache
@@ -365,11 +392,8 @@ var errStopWalk = errors.New("rewrite: stop walk")
 func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([]Step, error) {
 	s := e.sys
 	var steps []Step
-	var seenPtr map[*Term]struct{}
 	var seenStruct *stateSet
-	if e.intern {
-		seenPtr = make(map[*Term]struct{})
-	} else {
+	if !e.intern {
 		seenStruct = newStateSet()
 	}
 	var skipped, pruned int64
@@ -379,10 +403,14 @@ func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([
 			return err
 		}
 		if e.intern {
-			if _, dup := seenPtr[norm]; dup {
-				return nil
+			// Interned successors dedupe by pointer; successor lists are
+			// small, so a scan over steps beats allocating a set per
+			// expansion.
+			for i := range steps {
+				if steps[i].Result == norm {
+					return nil
+				}
 			}
-			seenPtr[norm] = struct{}{}
 		} else if !seenStruct.add(norm) {
 			return nil
 		}
@@ -392,12 +420,27 @@ func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([
 		}
 		return nil
 	}
+	// Compiled matchers share one pooled scratch across every position of
+	// this expansion; interpreter-only runs never touch the pool.
+	var cm *matcherScratch
+	var compiled, fallback int64
+	if e.comp != nil {
+		cm = e.comp.getScratch()
+		defer e.comp.putScratch(cm)
+	}
 	applyAt := func(i int, t *Term, rebuild func(*Term) *Term) error {
 		var began time.Time
 		if e.rp != nil {
 			began = time.Now()
 		}
-		reps := s.Rules[i].apply(t, s.Sig)
+		var reps []*Term
+		if cm != nil && e.comp.rules[i] != nil {
+			reps = e.comp.rules[i].apply(t, s.Sig, cm, nil)
+			compiled++
+		} else {
+			reps = s.Rules[i].apply(t, s.Sig)
+			fallback++
+		}
 		if e.rp != nil {
 			e.rp.record(i, time.Since(began), len(reps))
 		}
@@ -412,16 +455,19 @@ func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([
 	total := len(s.Rules)
 	var buf []indexedRule
 	if e.idx != nil {
-		buf = make([]indexedRule, 0, len(e.idx.atConfig))
+		buf = getTriedBuf(len(e.idx.atConfig))
+		defer putTriedBuf(buf)
 	}
 	var walk func(t *Term, rebuild func(*Term) *Term) error
 	walk = func(t *Term, rebuild func(*Term) *Term) error {
 		if e.idx != nil {
 			// buf is shared across recursion levels; each level finishes
 			// iterating its bucket before descending, so no level observes
-			// another's filtered view.
-			tried, sk := e.idx.at(t, total, buf)
-			skipped += int64(sk)
+			// another's filtered view. The index only selects candidates:
+			// RulesSkippedByIndex accounting lives here, in one place, as
+			// total minus whatever the bucket admitted.
+			tried := e.idx.at(t, buf)
+			skipped += int64(total - len(tried))
 			for _, ir := range tried {
 				if err := applyAt(ir.idx, t, rebuild); err != nil {
 					return err
@@ -461,6 +507,8 @@ func (e *engine) expand(t *Term, limit int, b *telemetry.EventBuf, depth int) ([
 	err := walk(t, func(nt *Term) *Term { return nt })
 	e.rulesSkipped.Add(skipped)
 	e.subtreesPruned.Add(pruned)
+	e.compiledMatches.Add(compiled)
+	e.fallbackMatches.Add(fallback)
 	if b != nil && pruned > 0 {
 		b.Record(telemetry.EvSubtreePruned, depth, t.Hash(), "", pruned)
 	}
@@ -514,7 +562,9 @@ type Goal struct {
 // matches reports whether state satisfies the goal.
 func (g Goal) matches(state *Term, sig Signature) bool {
 	ok := false
-	match(g.Pattern, state, Binding{}, sig, func(b Binding) {
+	scratch := getBinding()
+	defer putBinding(scratch)
+	match(g.Pattern, state, scratch, sig, func(b Binding) {
 		if g.Cond == nil || g.Cond(b) {
 			ok = true
 		}

@@ -60,8 +60,28 @@ type Term struct {
 	interned atomic.Bool            // set once by Intern on the canonical copy
 }
 
+// smallInts caches the canonical terms for small non-negative integers —
+// the ids, uids/gids, modes, and capability indices the ROSA models build
+// on every rule firing. Sharing them is safe because terms are immutable,
+// and profitable twice over: the rule callbacks stop allocating for their
+// hottest constructor, and after the first Intern of each value the shared
+// pointer carries the interned flag, so successor normalization takes the
+// one-atomic-load fast path on every integer argument.
+var smallInts = func() [4096]*Term {
+	var ts [4096]*Term
+	for i := range ts {
+		ts[i] = &Term{Kind: Int, IntVal: int64(i)}
+	}
+	return ts
+}()
+
 // NewInt returns an integer term.
-func NewInt(v int64) *Term { return &Term{Kind: Int, IntVal: v} }
+func NewInt(v int64) *Term {
+	if 0 <= v && v < int64(len(smallInts)) {
+		return smallInts[v]
+	}
+	return &Term{Kind: Int, IntVal: v}
+}
 
 // NewStr returns a string term.
 func NewStr(s string) *Term { return &Term{Kind: Str, StrVal: s} }
@@ -80,7 +100,21 @@ func NewVar(name, sort string) *Term {
 // NewConfig returns a configuration holding the given elements. Nested
 // configurations are flattened (associativity).
 func NewConfig(elems ...*Term) *Term {
-	flat := make([]*Term, 0, len(elems))
+	// Exact capacity up front: rule rebuilds splice a whole remainder
+	// configuration in as one element, so sizing by len(elems) alone would
+	// grow-copy on nearly every successor construction.
+	n := 0
+	for _, e := range elems {
+		if e == nil {
+			continue
+		}
+		if e.Kind == Config {
+			n += len(e.Args)
+		} else {
+			n++
+		}
+	}
+	flat := make([]*Term, 0, n)
 	for _, e := range elems {
 		if e == nil {
 			continue
@@ -90,6 +124,14 @@ func NewConfig(elems ...*Term) *Term {
 		} else {
 			flat = append(flat, e)
 		}
+	}
+	// Configurations are born in the canonical engine order (ascending
+	// structural hash; see sortConfigArgs). Rule rebuilds splice an
+	// already-sorted remainder plus a few fresh objects, so this is O(n)
+	// in the common case — and it makes the interner's probe and the
+	// canonicalization pass order-checks instead of sort-and-copy work.
+	if len(flat) > 1 {
+		sortConfigArgs(flat)
 	}
 	return &Term{Kind: Config, Args: flat}
 }

@@ -1,0 +1,30 @@
+package rosa
+
+import (
+	"testing"
+
+	"privanalyzer/internal/rewrite"
+)
+
+// TestAllRulesCompile pins the property the compiled-matcher fast path's
+// value rests on: every rule in the ROSA theory — base and extended — falls
+// inside the compilable fragment (configuration-rooted LHS, at most one rest
+// variable), so a default search never touches the interpreter fallback.
+// A new rule that silently fell out of the fragment would still be correct
+// (the per-rule fallback keeps semantics), but it would erode the measured
+// speedup without any test noticing; this one notices.
+func TestAllRulesCompile(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sys  *rewrite.System
+	}{
+		{"base", NewSystem()},
+		{"extended", NewExtendedSystem()},
+	} {
+		got := rewrite.Compile(tc.sys.Rules).CompiledCount()
+		if want := len(tc.sys.Rules); got != want {
+			t.Errorf("%s system: %d of %d rules compile; every ROSA rule must stay in the compilable fragment",
+				tc.name, got, want)
+		}
+	}
+}

@@ -304,6 +304,11 @@ func (q *Query) runOn(ctx context.Context, sys *rewrite.System) (*Result, error)
 		reg.Counter("rosa_subtrees_pruned_total").Add(st.SubtreesPruned)
 		reg.Counter("rosa_succ_cache_hits_total").Add(st.CacheHits)
 		reg.Counter("rosa_succ_cache_misses_total").Add(st.CacheMisses)
+		reg.Counter("rosa_compiled_matches_total").Add(st.CompiledMatches)
+		reg.Counter("rosa_fallback_matches_total").Add(st.FallbackMatches)
+		if st.CompiledRules > 0 {
+			reg.Gauge("rosa_compiled_rules").Set(int64(st.CompiledRules))
+		}
 		if st.InternerSize > 0 {
 			reg.Gauge("rosa_interner_terms").Set(st.InternerSize)
 		}

@@ -61,7 +61,7 @@ func procFrom(b rewrite.Binding, prefix, idVar string) procView {
 }
 
 func (p procView) term() *rewrite.Term {
-	return rewrite.NewOp(symProcess,
+	return rewrite.InternOp(symProcess,
 		rewrite.NewInt(p.id),
 		rewrite.NewInt(p.euid), rewrite.NewInt(p.ruid), rewrite.NewInt(p.suid),
 		rewrite.NewInt(p.egid), rewrite.NewInt(p.rgid), rewrite.NewInt(p.sgid),
@@ -254,13 +254,14 @@ func privsOf(b rewrite.Binding, name string) caps.Set {
 
 // rebuild assembles the post-state configuration: the rest variable Z plus
 // the updated matched objects (the consumed message is simply not included).
+// It interns through InternConfig: a rewrite step usually reconstructs a
+// state the search has already canonicalized, and the parts-probe returns
+// that canonical term without building a fresh configuration first.
 func rebuild(b rewrite.Binding, objs ...*rewrite.Term) *rewrite.Term {
-	elems := make([]*rewrite.Term, 0, len(objs)+1)
-	elems = append(elems, objs...)
 	if z := b.Get("Z"); z != nil {
-		elems = append(elems, z)
+		objs = append(objs, z)
 	}
-	return rewrite.NewConfig(elems...)
+	return rewrite.InternConfig(objs...)
 }
 
 // NewSystem builds the ROSA rewrite theory: one rule per modeled system
@@ -760,7 +761,7 @@ func killRule() rewrite.Rule {
 			}
 			sig := bindingInt(b, "SIG")
 			if sig == 9 || sig == 15 {
-				t.state = rewrite.NewOp(symTerm)
+				t.state = termState
 			}
 			return []*rewrite.Term{rebuild(b, p.term(), t.term())}
 		},

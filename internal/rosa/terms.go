@@ -131,12 +131,20 @@ func Process(id int, c Creds, rdf, wrf *rewrite.Term) *rewrite.Term {
 	if wrf == nil {
 		wrf = EmptySet()
 	}
-	return rewrite.NewOp(symProcess,
+	return rewrite.InternOp(symProcess,
 		rewrite.NewInt(int64(id)),
 		rewrite.NewInt(int64(c.EUID)), rewrite.NewInt(int64(c.RUID)), rewrite.NewInt(int64(c.SUID)),
 		rewrite.NewInt(int64(c.EGID)), rewrite.NewInt(int64(c.RGID)), rewrite.NewInt(int64(c.SGID)),
-		rewrite.NewOp(symRun), rdf, wrf)
+		runState, rdf, wrf)
 }
+
+// runState and termState are the two process-state constants. Each is one
+// canonical interned term so that every process object shares it and rule
+// rebuilds never reconstruct it.
+var (
+	runState  = rewrite.InternOp(symRun)
+	termState = rewrite.InternOp(symTerm)
+)
 
 // Positions of process-object arguments.
 const (
@@ -156,7 +164,7 @@ const (
 // File builds a file object term: File(id, name, perms, owner, group). Names
 // are for human readability; rules never consult them (§V-B).
 func File(id int, name string, perms vkernel.Mode, owner, group int) *rewrite.Term {
-	return rewrite.NewOp(symFile,
+	return rewrite.InternOp(symFile,
 		rewrite.NewInt(int64(id)), rewrite.NewStr(name),
 		rewrite.NewInt(int64(perms)),
 		rewrite.NewInt(int64(owner)), rewrite.NewInt(int64(group)))
@@ -180,7 +188,7 @@ const (
 // parent level: opening file F checks search permission on any Dir whose
 // inode is F.
 func DirEntry(id int, name string, perms vkernel.Mode, owner, group, inode int) *rewrite.Term {
-	return rewrite.NewOp(symDir,
+	return rewrite.InternOp(symDir,
 		rewrite.NewInt(int64(id)), rewrite.NewStr(name),
 		rewrite.NewInt(int64(perms)),
 		rewrite.NewInt(int64(owner)), rewrite.NewInt(int64(group)),
@@ -190,7 +198,7 @@ func DirEntry(id int, name string, perms vkernel.Mode, owner, group, inode int) 
 // SocketObj builds a TCP socket object: Socket(id, port). Port 0 means
 // unbound.
 func SocketObj(id, port int) *rewrite.Term {
-	return rewrite.NewOp(symSocket, rewrite.NewInt(int64(id)), rewrite.NewInt(int64(port)))
+	return rewrite.InternOp(symSocket, rewrite.NewInt(int64(id)), rewrite.NewInt(int64(port)))
 }
 
 // User builds a user object; wildcards in uid-valued syscall arguments range

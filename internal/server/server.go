@@ -126,10 +126,12 @@ func New(cfg Config) *Server {
 		"server_jobs_total",
 		"rosa_queries_total",
 		"rosa_succ_cache_hits_total", "rosa_succ_cache_misses_total",
+		"rosa_compiled_matches_total", "rosa_fallback_matches_total",
 		"rosa_recorder_dropped_events_total",
 	} {
 		s.reg.Counter(name)
 	}
+	s.reg.Gauge("rosa_compiled_rules")
 	s.reg.Gauge("server_queue_pending")
 	s.reg.Gauge("server_queue_inflight")
 	s.reg.Gauge("server_checkers_resident")
