@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-chaos bench bench-json experiments tables serve fuzz clean
+.PHONY: all build test test-short test-race test-chaos bench bench-json bench-baseline bench-baseline-update experiments tables serve fuzz clean
 
 all: build test
 
@@ -18,9 +18,10 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detector pass over the packages with concurrent code paths (the
-# level-parallel search engine, its callers, and the telemetry registry).
+# level-parallel search engine, its callers, the telemetry registry, and
+# the server's slow-query journal / job pool).
 test-race:
-	$(GO) test -race ./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/telemetry/
+	$(GO) test -race ./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/telemetry/ ./internal/server/
 
 # Fault-injection suites under the race detector: panic isolation,
 # escalation transparency, checkpoint/resume equivalence, memory
@@ -38,6 +39,17 @@ bench:
 # (program, phase, attack) query, for performance tracking across commits.
 bench-json:
 	$(GO) run ./cmd/privanalyzer -bench-json BENCH_search.json
+
+# Perf-baseline regression harness: run the full grid with cost vectors and
+# an environment stamp, then compare against the committed baseline.
+# Wall-clock regressions warn; determinism drift (verdicts/state counts)
+# fails. Refresh the baseline with bench-baseline-update after a deliberate
+# performance change.
+bench-baseline:
+	$(GO) run ./cmd/privanalyzer -bench-json BENCH_grid.json -bench-compare BENCH_baseline.json
+
+bench-baseline-update:
+	$(GO) run ./cmd/privanalyzer -bench-json BENCH_baseline.json
 
 # Run the whole evaluation and compare every cell against the paper.
 experiments:

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"privanalyzer/internal/benchcmp"
 )
 
 func capture(t *testing.T, f func() int) (string, int) {
@@ -275,21 +277,28 @@ func TestRunBenchJSON(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d\n%s", code, out)
 	}
-	data, err := os.ReadFile(path)
+	g, err := benchcmp.Load(path)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("bad grid: %v", err)
 	}
-	var records []map[string]any
-	if err := json.Unmarshal(data, &records); err != nil {
-		t.Fatalf("bad JSON: %v", err)
+	if g.SchemaVersion != benchcmp.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", g.SchemaVersion, benchcmp.SchemaVersion)
 	}
-	if len(records) != 140 { // 7 programs × their phases × 4 attacks
-		t.Errorf("got %d records, want 140", len(records))
+	if g.Env.GoVersion == "" || g.Env.NumCPU < 1 {
+		t.Errorf("environment stamp not populated: %+v", g.Env)
 	}
-	for _, key := range []string{"figure", "program", "phase", "attack", "verdict", "states", "elapsed_ns", "states_per_sec"} {
-		if _, ok := records[0][key]; !ok {
-			t.Errorf("record missing %q: %v", key, records[0])
-		}
+	if len(g.Records) != 140 { // 7 programs × their phases × 4 attacks
+		t.Errorf("got %d records, want 140", len(g.Records))
+	}
+	r := g.Records[0]
+	if r.Figure < 5 || r.Program == "" || r.Phase == "" || r.Attack < 1 || r.Verdict == "" {
+		t.Errorf("record identity not populated: %+v", r)
+	}
+	if r.States <= 0 || r.ElapsedNS <= 0 || r.StatesPerSec <= 0 {
+		t.Errorf("record measurements not populated: %+v", r)
+	}
+	if r.Cost == nil || r.Cost.WallNS <= 0 || r.Cost.StatesExpanded <= 0 {
+		t.Errorf("record cost vector not populated: %+v", r.Cost)
 	}
 }
 

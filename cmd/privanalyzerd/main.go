@@ -19,6 +19,8 @@
 //	GET  /v1/jobs/{id}        job status: queue position, live search stats
 //	GET  /v1/jobs/{id}/events live SSE stream (stats, recorder events, result)
 //	GET  /v1/programs         the modeled program list
+//	GET  /v1/slowlog          the top-K costliest requests since boot
+//	GET  /v1/metrics.json     the telemetry registry as typed JSON
 //	GET  /v1/version          the binary's build identity
 //	GET  /healthz /readyz /metrics /debug/pprof/...
 //
@@ -61,6 +63,7 @@ func run(args []string, onListen func(net.Addr)) int {
 		checkers    = fs.Int("checkers", 0, "per-program checker LRU capacity — how many programs stay cache-warm (0 = 8)")
 		drain       = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for queued and in-flight requests")
 		jobStats    = fs.Duration("job-stats-interval", 0, "throttle async jobs' progress snapshots (SSE stats frames) to this interval (0 = one per completed depth level)")
+		slowlog     = fs.Int("slowlog", 0, "slow-query journal capacity: the top-K costliest requests kept for GET /v1/slowlog (0 = 32)")
 	)
 	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +99,7 @@ func run(args []string, onListen func(net.Addr)) int {
 		DefaultSearch:    search.Params(),
 		DrainTimeout:     *drain,
 		JobStatsInterval: *jobStats,
+		SlowLog:          *slowlog,
 		Registry:         telemetry.New(),
 		Logger:           logger,
 	})

@@ -8,8 +8,21 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"privanalyzer/internal/api"
+)
+
+// watch retry policy: a dropped stream reconnects on a capped exponential
+// backoff. The events endpoint replays a finished job's full frame sequence
+// on every connect, so reconnecting is lossless — the terminal result frame
+// arrives on whichever attempt finds the job finished. Client-error statuses
+// (4xx: bad URL, expired job) never retry; connection failures, 5xx, and
+// mid-stream drops do.
+const (
+	watchMaxAttempts = 6
+	watchBaseBackoff = 500 * time.Millisecond
+	watchMaxBackoff  = 8 * time.Second
 )
 
 // watchJob follows a privanalyzerd job's Server-Sent-Events stream and
@@ -22,28 +35,80 @@ import (
 // url may be the job URL (from a POST /v1/jobs acknowledgment's status_url)
 // or the events URL; /events is appended when missing.
 func watchJob(url string) int {
+	return watchJobTo(url, os.Stdout, os.Stderr, watchBaseBackoff)
+}
+
+// watchJobTo is watchJob with the writers and backoff base injected (tests
+// shrink the backoff to keep the retry ladder fast).
+func watchJobTo(url string, out, errw io.Writer, baseBackoff time.Duration) int {
 	if !strings.HasSuffix(url, "/events") {
 		url = strings.TrimSuffix(url, "/") + "/events"
 	}
+	w := &watcher{out: out, errw: errw}
+	backoff := baseBackoff
+	for attempt := 1; ; attempt++ {
+		outcome := streamOnce(url, w)
+		if outcome.terminal {
+			return outcome.code
+		}
+		if !outcome.retryable {
+			return 1
+		}
+		// A stream that made progress before dropping earns a fresh retry
+		// budget — only consecutive dead connects exhaust the attempts.
+		if outcome.sawFrame {
+			attempt = 1
+			backoff = baseBackoff
+		}
+		if attempt >= watchMaxAttempts {
+			fmt.Fprintf(w.errw, "rosa: -watch: giving up after %d attempts\n", watchMaxAttempts)
+			return 1
+		}
+		fmt.Fprintf(w.errw, "rosa: -watch: stream dropped; reconnecting in %s (attempt %d/%d)\n",
+			backoff, attempt+1, watchMaxAttempts)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > watchMaxBackoff {
+			backoff = watchMaxBackoff
+		}
+	}
+}
+
+// streamOutcome is one connection attempt's result.
+type streamOutcome struct {
+	// terminal: a result/error frame arrived; code is the exit code.
+	terminal bool
+	code     int
+	// retryable: the failure is transient (connect error, 5xx, dropped
+	// stream) rather than a client error.
+	retryable bool
+	// sawFrame: at least one frame was dispatched before the drop.
+	sawFrame bool
+}
+
+// streamOnce opens the SSE stream once and pumps frames until a terminal
+// frame or a drop.
+func streamOnce(url string, w *watcher) streamOutcome {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rosa: -watch:", err)
-		return 2
+		fmt.Fprintln(w.errw, "rosa: -watch:", err)
+		return streamOutcome{code: 2}
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rosa: -watch:", err)
-		return 1
+		fmt.Fprintln(w.errw, "rosa: -watch:", err)
+		return streamOutcome{retryable: true}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		fmt.Fprintf(os.Stderr, "rosa: -watch: %s: %s\n%s", url, resp.Status, body)
-		return 1
+		fmt.Fprintf(w.errw, "rosa: -watch: %s: %s\n%s", url, resp.Status, body)
+		// 4xx means the request itself is wrong (bad job id, expired job):
+		// retrying replays the same mistake.
+		return streamOutcome{retryable: resp.StatusCode >= 500}
 	}
 
-	w := watcher{out: os.Stdout, errw: os.Stderr}
+	out := streamOutcome{retryable: true}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20) // result envelopes carry witnesses
 	var event string
@@ -53,8 +118,10 @@ func watchJob(url string) int {
 		switch {
 		case line == "": // blank line dispatches the accumulated frame
 			if event != "" {
+				out.sawFrame = true
 				if code, terminal := w.frame(event, strings.Join(data, "\n")); terminal {
-					return code
+					out.terminal, out.code = true, code
+					return out
 				}
 			}
 			event, data = "", nil
@@ -67,11 +134,11 @@ func watchJob(url string) int {
 	}
 	w.endProgress()
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "rosa: -watch: stream:", err)
-		return 1
+		fmt.Fprintln(w.errw, "rosa: -watch: stream:", err)
+	} else {
+		fmt.Fprintln(w.errw, "rosa: -watch: stream ended without a result frame")
 	}
-	fmt.Fprintln(os.Stderr, "rosa: -watch: stream ended without a result frame")
-	return 1
+	return out
 }
 
 // watcher renders one job stream: progress line on stderr, terminal

@@ -84,6 +84,9 @@ type SearchParams struct {
 	// byte-identical either way — the knob exists for ablation and
 	// benchmarking the interpreter baseline. CLI: -no-compile.
 	NoCompile bool `json:"no_compile,omitempty"`
+	// NoCost disables the per-query cost ledger (SearchStats.Cost and the
+	// slow-query journal's admission) for this request. CLI: -no-cost.
+	NoCost bool `json:"no_cost,omitempty"`
 }
 
 // OrDefaults fills zero-valued knobs from d (a server's standing defaults);
@@ -106,6 +109,7 @@ func (p SearchParams) OrDefaults(d SearchParams) SearchParams {
 	}
 	p.Stats = p.Stats || d.Stats
 	p.NoCompile = p.NoCompile || d.NoCompile
+	p.NoCost = p.NoCost || d.NoCost
 	return p
 }
 
@@ -218,6 +222,41 @@ type SearchStats struct {
 	// DroppedEvents is the flight recorder's truncation count at snapshot
 	// time (journal overwrites; stream drops are reported per job).
 	DroppedEvents int64 `json:"dropped_events,omitempty"`
+	// Cost is the query's resource ledger (wall, CPU, allocation plus the
+	// engine counters as one cost vector), captured by the escalating
+	// supervisor around the whole query. Present on final snapshots unless
+	// the request set no_cost; nil on mid-flight progress snapshots.
+	Cost *QueryCost `json:"cost,omitempty"`
+}
+
+// QueryCost is the wire form of obs.QueryCost: one query's resource ledger.
+// The count fields (states_expanded through degradation_level) are
+// deterministic — byte-identical at any worker count — while wall_ns,
+// cpu_ns, and alloc_bytes are wall-clock-class measurements that vary run to
+// run (byte-identity comparisons zero them, like elapsed_ns). cpu_ns and
+// alloc_bytes are process-wide deltas across the query: upper bounds under
+// concurrency, and cpu_ns is 0 where getrusage is unavailable.
+type QueryCost struct {
+	WallNS     int64 `json:"wall_ns"`
+	CPUNS      int64 `json:"cpu_ns"`
+	AllocBytes int64 `json:"alloc_bytes"`
+	// StatesExpanded counts distinct states the search visited (the final
+	// escalation attempt's figure).
+	StatesExpanded int   `json:"states_expanded"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	// CompiledMatches/FallbackMatches split rule attempts between compiled
+	// matchers and the interpreter; CompiledShare is the compiled fraction
+	// in [0,1].
+	CompiledMatches int64   `json:"compiled_matches"`
+	FallbackMatches int64   `json:"fallback_matches"`
+	CompiledShare   float64 `json:"compiled_share"`
+	// EscalationAttempts counts budget-escalation rungs (1 = resolved on
+	// the first budget).
+	EscalationAttempts int `json:"escalation_attempts"`
+	// DegradationLevel: 0 = none, 1 = transition cache shed, 2 = search
+	// stopped by the memory budget.
+	DegradationLevel int `json:"degradation_level"`
 }
 
 // QueryRequest asks for one standalone ROSA query. POST /v1/query. Either
@@ -340,6 +379,74 @@ type JobEvent struct {
 	// TNS is the event's monotonic timestamp in nanoseconds since the
 	// job recorder's epoch.
 	TNS int64 `json:"t_ns"`
+}
+
+// SlowQuery is one slow-query journal entry: the request's identity (kind,
+// label, correlation id, priority), when it ran, what it answered, and its
+// full cost vector. GET /v1/slowlog items.
+type SlowQuery struct {
+	// Seq is the entry's admission sequence number (monotonic per server
+	// process); among equal costs, higher means more recent.
+	Seq int64 `json:"seq"`
+	// Time is the admission time, RFC 3339 with nanoseconds.
+	Time string `json:"time"`
+	// Kind is "analyze" or "query" — which endpoint family ran the work
+	// (synchronous and job submissions look identical here).
+	Kind string `json:"kind"`
+	// Label names the work: the program for analyses, the attack/source
+	// description for queries.
+	Label string `json:"label"`
+	// RequestID is the request's correlation id (the X-Request-ID header),
+	// joining this entry to the access log, spans, and SSE stream.
+	RequestID string `json:"request_id,omitempty"`
+	// Priority is the request's queue priority.
+	Priority int `json:"priority,omitempty"`
+	// QueueWaitNS is how long the request sat in the admission queue before
+	// a worker picked it up.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	// Verdicts summarizes the outcome in paper glyphs, one per query in grid
+	// order (e.g. "✗✓⏱✗" for an analysis phase row, "✓" for one query).
+	Verdicts string `json:"verdicts,omitempty"`
+	// Cost is the request's aggregated cost vector — the sum over every
+	// rosa query the request ran.
+	Cost QueryCost `json:"cost"`
+}
+
+// SlowLogResponse is the slow-query journal: the top-K costliest requests
+// since boot, costliest first. GET /v1/slowlog.
+type SlowLogResponse struct {
+	APIVersion string `json:"api_version"`
+	// Capacity is the journal's bound (the K of top-K).
+	Capacity int `json:"capacity"`
+	// Admitted counts journal admissions since boot (entries that made the
+	// top-K at the time, including since-evicted ones).
+	Admitted int64 `json:"admitted"`
+	// Entries are the retained queries, ordered by descending cost (wall
+	// time), ties newest first.
+	Entries []SlowQuery `json:"entries"`
+}
+
+// HistogramV1 is one histogram's summary in /v1/metrics.json: exact count,
+// sum and extrema plus interpolated quantiles (see telemetry.Histogram).
+type HistogramV1 struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// MetricsResponse is the telemetry registry as JSON — the same snapshot the
+// Prometheus text endpoint renders, for consumers that want typed values
+// without a Prometheus parser. GET /v1/metrics.json.
+type MetricsResponse struct {
+	APIVersion string                 `json:"api_version"`
+	Counters   map[string]int64       `json:"counters"`
+	Gauges     map[string]int64       `json:"gauges"`
+	Histograms map[string]HistogramV1 `json:"histograms"`
 }
 
 // VersionInfo is the build identity debug.ReadBuildInfo exposes: enough for

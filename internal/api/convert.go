@@ -8,6 +8,7 @@ import (
 	"privanalyzer/internal/attacks"
 	"privanalyzer/internal/caps"
 	"privanalyzer/internal/core"
+	"privanalyzer/internal/obs"
 	"privanalyzer/internal/rewrite"
 	"privanalyzer/internal/rosa"
 	"privanalyzer/internal/telemetry"
@@ -25,6 +26,7 @@ func (p SearchParams) Options() (rewrite.Options, error) {
 		MemBudget: p.MemBudget,
 		Profile:   p.Stats,
 		NoCompile: p.NoCompile,
+		NoCost:    p.NoCost,
 	}
 	if err := ApplyEscalate(p.Escalate, &o); err != nil {
 		return rewrite.Options{}, err
@@ -94,6 +96,7 @@ func (p SearchParams) Apply(q *rosa.Query) error {
 	}
 	q.Profile = q.Profile || opts.Profile
 	q.NoCompile = q.NoCompile || opts.NoCompile
+	q.NoCost = q.NoCost || opts.NoCost
 	if opts.Escalate != (rewrite.Escalation{}) {
 		q.Escalate = opts.Escalate
 	}
@@ -159,6 +162,28 @@ func FromSearchStats(st *rewrite.SearchStats) *SearchStats {
 		ElapsedNS:           st.Elapsed.Nanoseconds(),
 		DegradedAt:          st.DegradedAt,
 		DroppedEvents:       st.DroppedEvents,
+		Cost:                FromQueryCost(st.Cost),
+	}
+}
+
+// FromQueryCost converts the supervisor's cost ledger to its wire form; nil
+// in, nil out (NoCost requests, mid-flight snapshots).
+func FromQueryCost(c *obs.QueryCost) *QueryCost {
+	if c == nil {
+		return nil
+	}
+	return &QueryCost{
+		WallNS:             c.WallNS,
+		CPUNS:              c.CPUNS,
+		AllocBytes:         c.AllocBytes,
+		StatesExpanded:     c.StatesExpanded,
+		CacheHits:          c.CacheHits,
+		CacheMisses:        c.CacheMisses,
+		CompiledMatches:    c.CompiledMatches,
+		FallbackMatches:    c.FallbackMatches,
+		CompiledShare:      c.CompiledShare(),
+		EscalationAttempts: c.EscalationAttempts,
+		DegradationLevel:   c.DegradationLevel,
 	}
 }
 

@@ -1,0 +1,306 @@
+// Package benchcmp is the perf-baseline regression harness: the Figure 5-11
+// query grid as a machine-readable, environment-stamped document
+// (BENCH_grid.json) plus a noise-tolerant comparison against a committed
+// baseline. `make bench-baseline` produces the grid and runs the comparison;
+// CI uploads the grid as an artifact and treats regressions as warnings —
+// the gate is informational, because CI runners' wall-clock is noisy — while
+// determinism drift (a verdict or state count changing) is a hard failure of
+// the comparison, never noise.
+//
+// Grid cells are keyed (program, phase, attack). Wall-clock regressions
+// need to clear BOTH a relative threshold and an absolute floor before they
+// count: microsecond cells triple on scheduler jitter alone, so a ratio
+// without a floor cries wolf, and a floor without a ratio hides a 10×
+// regression in a formerly-fast cell only until it crosses the floor.
+package benchcmp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"privanalyzer/internal/api"
+)
+
+// SchemaVersion stamps the grid document; bump on incompatible shape
+// changes so a stale committed baseline fails loud, not weird.
+const SchemaVersion = 1
+
+// Env is the measurement environment stamp: enough to tell "this regressed"
+// from "this ran on different hardware".
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+	// Revision and Time are the build's VCS stamp when available.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+}
+
+// CaptureEnv stamps the current process's environment. Revision/time come
+// from the caller (cmdutil.Version carries the VCS stamp when present).
+func CaptureEnv(revision, vcsTime string) Env {
+	host, _ := os.Hostname()
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hostname:   host,
+		Revision:   revision,
+		Time:       vcsTime,
+	}
+}
+
+// Record is one (program, phase, attack) cell: the deterministic outcome
+// (verdict, states), the wall-clock figures, and the query's full cost
+// vector.
+type Record struct {
+	Figure       int     `json:"figure"`
+	Program      string  `json:"program"`
+	Phase        string  `json:"phase"`
+	Attack       int     `json:"attack"`
+	Verdict      string  `json:"verdict"`
+	States       int     `json:"states"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	Workers      int     `json:"workers"`
+	// Cost is the query's resource ledger (nil when the run disabled the
+	// cost accounting).
+	Cost *api.QueryCost `json:"cost,omitempty"`
+}
+
+// Key is the cell's grid coordinate.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s/%s/a%d", r.Program, r.Phase, r.Attack)
+}
+
+// Grid is the full benchmark document -bench-json writes.
+type Grid struct {
+	SchemaVersion int      `json:"schema_version"`
+	Env           Env      `json:"env"`
+	Records       []Record `json:"records"`
+}
+
+// TotalElapsedNS sums the grid's wall clock — the Σ-grid figure the
+// comparison checks alongside per-cell ratios.
+func (g *Grid) TotalElapsedNS() int64 {
+	var total int64
+	for _, r := range g.Records {
+		total += r.ElapsedNS
+	}
+	return total
+}
+
+// Load reads a grid document.
+func Load(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Grid
+	// Strict decode: a typo'd or stale baseline should fail here, not
+	// silently compare against zero values.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	if g.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchcmp: %s: schema_version %d, this binary speaks %d",
+			path, g.SchemaVersion, SchemaVersion)
+	}
+	return &g, nil
+}
+
+// Write writes the grid through the canonical encoder (api.Encode), so grid
+// documents diff cleanly across commits.
+func Write(path string, g *Grid) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := api.Encode(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Thresholds tunes the comparison's noise tolerance.
+type Thresholds struct {
+	// CellRatio is the per-cell slowdown factor a regression must exceed.
+	CellRatio float64
+	// CellFloorNS is the per-cell absolute slowdown floor; both gates must
+	// trip.
+	CellFloorNS int64
+	// TotalRatio is the Σ-grid slowdown factor (tighter than CellRatio:
+	// noise averages out over the whole grid).
+	TotalRatio float64
+	// TotalFloorNS is the Σ-grid absolute floor.
+	TotalFloorNS int64
+}
+
+// DefaultThresholds: a cell regresses at >1.5× AND >25ms slower; the grid
+// total regresses at >1.25× AND >250ms slower. Calibrated against
+// back-to-back local runs, whose cells jitter well inside these gates.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		CellRatio:    1.5,
+		CellFloorNS:  25_000_000,
+		TotalRatio:   1.25,
+		TotalFloorNS: 250_000_000,
+	}
+}
+
+// Finding is one comparison outcome line.
+type Finding struct {
+	// Kind: "drift" (verdict/state-count mismatch — determinism, never
+	// noise), "regression" (wall-clock past both gates), "missing" (cell in
+	// the baseline only), or "new" (cell in the current grid only).
+	Kind string
+	Cell string
+	Note string
+}
+
+// Report is the comparison's result.
+type Report struct {
+	Findings []Finding
+	// BaselineTotalNS and CurrentTotalNS are the Σ-grid wall clocks.
+	BaselineTotalNS, CurrentTotalNS int64
+	// TotalRegressed reports the Σ-grid gate tripped.
+	TotalRegressed bool
+	// Cells is how many coordinates were compared.
+	Cells int
+}
+
+// Drift reports whether any determinism drift was found — the failure mode
+// the harness never excuses as noise.
+func (r *Report) Drift() bool {
+	for _, f := range r.Findings {
+		if f.Kind == "drift" {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressed reports whether any wall-clock gate (cell or total) tripped.
+func (r *Report) Regressed() bool {
+	if r.TotalRegressed {
+		return true
+	}
+	for _, f := range r.Findings {
+		if f.Kind == "regression" {
+			return true
+		}
+	}
+	return false
+}
+
+// Clean reports no findings of any kind.
+func (r *Report) Clean() bool {
+	return len(r.Findings) == 0 && !r.TotalRegressed
+}
+
+// String renders the report for humans — the `make bench-baseline` tail and
+// the CI log.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchcmp: %d cells compared; grid total %.3fs -> %.3fs (%.2fx)\n",
+		r.Cells,
+		float64(r.BaselineTotalNS)/1e9, float64(r.CurrentTotalNS)/1e9,
+		ratio(r.CurrentTotalNS, r.BaselineTotalNS))
+	if r.Clean() {
+		b.WriteString("benchcmp: no drift, no regressions\n")
+		return b.String()
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "benchcmp: %-10s %-28s %s\n", f.Kind, f.Cell, f.Note)
+	}
+	if r.TotalRegressed {
+		fmt.Fprintf(&b, "benchcmp: regression  Σ-grid total exceeded %.2fx\n",
+			ratio(r.CurrentTotalNS, r.BaselineTotalNS))
+	}
+	return b.String()
+}
+
+func ratio(cur, base int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(cur) / float64(base)
+}
+
+// Compare evaluates current against baseline. Verdicts and state counts are
+// compared exactly (drift); wall clock through the two-gate thresholds
+// (regression). Missing/new cells are reported but trip no gate — the grid's
+// shape changes legitimately when programs or phases are added.
+func Compare(baseline, current *Grid, th Thresholds) *Report {
+	base := make(map[string]Record, len(baseline.Records))
+	for _, r := range baseline.Records {
+		base[r.Key()] = r
+	}
+	cur := make(map[string]Record, len(current.Records))
+	for _, r := range current.Records {
+		cur[r.Key()] = r
+	}
+
+	rep := &Report{
+		BaselineTotalNS: baseline.TotalElapsedNS(),
+		CurrentTotalNS:  current.TotalElapsedNS(),
+	}
+	for _, key := range sortedKeys(base) {
+		b := base[key]
+		c, ok := cur[key]
+		if !ok {
+			rep.Findings = append(rep.Findings, Finding{Kind: "missing", Cell: key,
+				Note: "cell present in baseline, absent in current grid"})
+			continue
+		}
+		rep.Cells++
+		if b.Verdict != c.Verdict {
+			rep.Findings = append(rep.Findings, Finding{Kind: "drift", Cell: key,
+				Note: fmt.Sprintf("verdict %s -> %s", b.Verdict, c.Verdict)})
+		}
+		if b.States != c.States {
+			rep.Findings = append(rep.Findings, Finding{Kind: "drift", Cell: key,
+				Note: fmt.Sprintf("states %d -> %d", b.States, c.States)})
+		}
+		slow := c.ElapsedNS - b.ElapsedNS
+		if b.ElapsedNS > 0 && slow > th.CellFloorNS &&
+			float64(c.ElapsedNS) > th.CellRatio*float64(b.ElapsedNS) {
+			rep.Findings = append(rep.Findings, Finding{Kind: "regression", Cell: key,
+				Note: fmt.Sprintf("%.1fms -> %.1fms (%.2fx)",
+					float64(b.ElapsedNS)/1e6, float64(c.ElapsedNS)/1e6,
+					ratio(c.ElapsedNS, b.ElapsedNS))})
+		}
+	}
+	for _, key := range sortedKeys(cur) {
+		if _, ok := base[key]; !ok {
+			rep.Findings = append(rep.Findings, Finding{Kind: "new", Cell: key,
+				Note: "cell absent in baseline"})
+		}
+	}
+	slowTotal := rep.CurrentTotalNS - rep.BaselineTotalNS
+	rep.TotalRegressed = rep.BaselineTotalNS > 0 && slowTotal > th.TotalFloorNS &&
+		float64(rep.CurrentTotalNS) > th.TotalRatio*float64(rep.BaselineTotalNS)
+	return rep
+}
+
+func sortedKeys(m map[string]Record) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,167 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func cell(program, phase string, attack int, verdict string, states int, elapsed int64) Record {
+	return Record{
+		Figure: 5, Program: program, Phase: phase, Attack: attack,
+		Verdict: verdict, States: states, ElapsedNS: elapsed, Workers: 1,
+	}
+}
+
+func grid(records ...Record) *Grid {
+	return &Grid{SchemaVersion: SchemaVersion, Env: CaptureEnv("test", ""), Records: records}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := grid(
+		cell("su", "baseline", 0, "blocked", 120, 40_000_000),
+		cell("su", "hardened", 1, "blocked", 80, 10_000_000),
+	)
+	// Jitter inside both gates: +20ms on the first cell (under 1.5x),
+	// +4ms on the second (over 1.4x but under the 25ms floor).
+	cur := grid(
+		cell("su", "baseline", 0, "blocked", 120, 60_000_000),
+		cell("su", "hardened", 1, "blocked", 80, 14_000_000),
+	)
+	rep := Compare(base, cur, DefaultThresholds())
+	if !rep.Clean() {
+		t.Fatalf("jitter inside the gates flagged:\n%s", rep)
+	}
+	if rep.Cells != 2 {
+		t.Fatalf("Cells = %d, want 2", rep.Cells)
+	}
+}
+
+func TestCompareRegressionNeedsBothGates(t *testing.T) {
+	base := grid(cell("su", "baseline", 0, "blocked", 120, 40_000_000))
+
+	// 2.5x AND +60ms: both gates trip.
+	cur := grid(cell("su", "baseline", 0, "blocked", 120, 100_000_000))
+	rep := Compare(base, cur, DefaultThresholds())
+	if !rep.Regressed() {
+		t.Fatalf("2.5x/+60ms not flagged:\n%s", rep)
+	}
+	if rep.Drift() {
+		t.Fatalf("perf regression misreported as drift:\n%s", rep)
+	}
+
+	// A microsecond cell tripling is ratio-only — scheduler jitter, not a
+	// regression.
+	base = grid(cell("su", "baseline", 0, "blocked", 120, 1_000_000))
+	cur = grid(cell("su", "baseline", 0, "blocked", 120, 3_000_000))
+	if rep := Compare(base, cur, DefaultThresholds()); rep.Regressed() {
+		t.Fatalf("microsecond-cell jitter flagged:\n%s", rep)
+	}
+}
+
+func TestCompareDrift(t *testing.T) {
+	base := grid(cell("su", "baseline", 0, "blocked", 120, 40_000_000))
+	cur := grid(cell("su", "baseline", 0, "reached", 121, 40_000_000))
+	rep := Compare(base, cur, DefaultThresholds())
+	if !rep.Drift() {
+		t.Fatalf("verdict+states change not reported as drift:\n%s", rep)
+	}
+	// Both the verdict and the state count drifted: two findings.
+	drifts := 0
+	for _, f := range rep.Findings {
+		if f.Kind == "drift" {
+			drifts++
+		}
+	}
+	if drifts != 2 {
+		t.Fatalf("drift findings = %d, want 2:\n%s", drifts, rep)
+	}
+}
+
+func TestCompareMissingAndNewCells(t *testing.T) {
+	base := grid(
+		cell("su", "baseline", 0, "blocked", 120, 40_000_000),
+		cell("su", "hardened", 0, "blocked", 80, 10_000_000),
+	)
+	cur := grid(
+		cell("su", "baseline", 0, "blocked", 120, 40_000_000),
+		cell("ping", "baseline", 0, "blocked", 50, 5_000_000),
+	)
+	rep := Compare(base, cur, DefaultThresholds())
+	var missing, fresh int
+	for _, f := range rep.Findings {
+		switch f.Kind {
+		case "missing":
+			missing++
+		case "new":
+			fresh++
+		}
+	}
+	if missing != 1 || fresh != 1 {
+		t.Fatalf("missing=%d new=%d, want 1/1:\n%s", missing, fresh, rep)
+	}
+	// Shape changes are informational: not drift, not regression.
+	if rep.Drift() || rep.Regressed() {
+		t.Fatalf("shape change tripped a gate:\n%s", rep)
+	}
+}
+
+func TestCompareTotalGate(t *testing.T) {
+	// Twenty cells each 20ms slower: no single cell clears the 25ms floor,
+	// but the grid total is +400ms at 2x — the Σ-grid gate exists exactly
+	// for this death-by-a-thousand-cuts shape.
+	var baseCells, curCells []Record
+	for i := 0; i < 20; i++ {
+		baseCells = append(baseCells, cell("su", "baseline", i, "blocked", 100, 20_000_000))
+		curCells = append(curCells, cell("su", "baseline", i, "blocked", 100, 40_000_000))
+	}
+	rep := Compare(grid(baseCells...), grid(curCells...), DefaultThresholds())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("per-cell findings for sub-floor slowdowns:\n%s", rep)
+	}
+	if !rep.TotalRegressed || !rep.Regressed() {
+		t.Fatalf("Σ-grid gate did not trip:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "Σ-grid") {
+		t.Fatalf("report does not mention the total gate:\n%s", rep)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	g := grid(cell("su", "baseline", 0, "blocked", 120, 40_000_000))
+	if err := Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 || got.Records[0].Key() != "su/baseline/a0" {
+		t.Fatalf("round trip lost the record: %+v", got.Records)
+	}
+	if got.Env.GoVersion == "" || got.Env.NumCPU == 0 {
+		t.Fatalf("env stamp not preserved: %+v", got.Env)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "env": {"go_version":"x","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1}, "records": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("wrong schema loaded without error: %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 1, "bogus": true, "records": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeterDeltas exercises a metered interval doing real work and checks the
+// resource deltas are sane: wall time at least the slept duration, CPU and
+// allocation deltas non-negative (CPU may be zero on non-Unix builds).
+func TestMeterDeltas(t *testing.T) {
+	m := Start()
+	// Allocate measurably and burn a little CPU so the deltas move.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 16<<10))
+	}
+	time.Sleep(5 * time.Millisecond)
+	c := m.Stop()
+	_ = sink
+
+	if c == nil {
+		t.Fatal("Stop on a started Meter returned nil")
+	}
+	if c.WallNS < (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("WallNS = %d, want >= 5ms", c.WallNS)
+	}
+	if c.CPUNS < 0 {
+		t.Errorf("CPUNS = %d, want >= 0", c.CPUNS)
+	}
+	// Size-class rounding means the counter need not equal the requested
+	// bytes exactly; half the requested volume is a safe floor.
+	if c.AllocBytes < 32*(16<<10) {
+		t.Errorf("AllocBytes = %d, want >= %d (about the loop's allocations)", c.AllocBytes, 32*(16<<10))
+	}
+}
+
+// TestZeroMeter confirms the inert zero Meter: Stop returns nil, so disabled
+// cost accounting threads a nil ledger with no branching at call sites.
+func TestZeroMeter(t *testing.T) {
+	var m Meter
+	if c := m.Stop(); c != nil {
+		t.Fatalf("zero Meter Stop() = %+v, want nil", c)
+	}
+}
+
+func TestCompiledShare(t *testing.T) {
+	cases := []struct {
+		compiled, fallback int64
+		want               float64
+	}{
+		{0, 0, 0},
+		{3, 1, 0.75},
+		{0, 5, 0},
+		{7, 0, 1},
+	}
+	for _, tc := range cases {
+		c := &QueryCost{CompiledMatches: tc.compiled, FallbackMatches: tc.fallback}
+		if got := c.CompiledShare(); got != tc.want {
+			t.Errorf("CompiledShare(%d,%d) = %v, want %v", tc.compiled, tc.fallback, got, tc.want)
+		}
+	}
+}
+
+// TestAdd checks aggregation semantics: sums for resources and counts,
+// worst-of for degradation level.
+func TestAdd(t *testing.T) {
+	a := &QueryCost{WallNS: 10, CPUNS: 5, AllocBytes: 100, StatesExpanded: 3,
+		CacheHits: 2, CacheMisses: 1, CompiledMatches: 4, FallbackMatches: 2,
+		EscalationAttempts: 1, DegradationLevel: DegradeCacheShed}
+	b := &QueryCost{WallNS: 20, CPUNS: 10, AllocBytes: 200, StatesExpanded: 7,
+		CacheHits: 3, CacheMisses: 2, CompiledMatches: 1, FallbackMatches: 1,
+		EscalationAttempts: 2, DegradationLevel: DegradeNone}
+	a.Add(b)
+	want := QueryCost{WallNS: 30, CPUNS: 15, AllocBytes: 300, StatesExpanded: 10,
+		CacheHits: 5, CacheMisses: 3, CompiledMatches: 5, FallbackMatches: 3,
+		EscalationAttempts: 3, DegradationLevel: DegradeCacheShed}
+	if *a != want {
+		t.Errorf("Add: got %+v, want %+v", *a, want)
+	}
+	a.Add(nil) // nil-safe no-op
+	if *a != want {
+		t.Errorf("Add(nil) mutated the receiver: %+v", *a)
+	}
+}
+
+func TestClone(t *testing.T) {
+	var nilCost *QueryCost
+	if nilCost.Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+	c := &QueryCost{WallNS: 42, StatesExpanded: 7}
+	cp := c.Clone()
+	if *cp != *c {
+		t.Errorf("Clone: got %+v, want %+v", *cp, *c)
+	}
+	cp.WallNS = 99
+	if c.WallNS != 42 {
+		t.Error("Clone shares storage with the original")
+	}
+}

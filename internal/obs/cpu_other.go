@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUNS has no portable implementation outside Unix; CPU attribution
+// reads 0 and QueryCost.CPUNS stays zero.
+func processCPUNS() int64 { return 0 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"privanalyzer/internal/faultinject"
+	"privanalyzer/internal/obs"
 	"privanalyzer/internal/telemetry"
 )
 
@@ -126,6 +127,13 @@ type Options struct {
 	// Faults is the deterministic fault-injection plan for chaos tests
 	// (internal/faultinject); nil — the production value — injects nothing.
 	Faults *faultinject.Plan
+	// NoCost disables the per-query cost ledger (SearchStats.Cost): the
+	// supervisor skips the obs.Meter bracket and Cost stays nil. Inverted
+	// (like NoDedup) so the zero value keeps accounting on; exists for
+	// ablation and for pinning the disabled path's overhead. The engine
+	// itself never reads this — the meter lives in the rosa supervisor,
+	// which owns the per-query boundary.
+	NoCost bool
 }
 
 // Escalation parameterizes adaptive budget escalation (Options.Escalate):
@@ -227,6 +235,12 @@ type SearchStats struct {
 	// Progress printers use it to avoid emitting a stale "final" line for
 	// searches that finish before their first StatsInterval tick.
 	Final bool
+	// Cost is the query-level resource ledger (wall, CPU, allocation plus
+	// the engine counters in cost-vector form), filled by the escalating
+	// supervisor around the whole query — escalation attempts included — not
+	// by the engine itself. Nil for bare SearchContext calls, for per-level
+	// progress snapshots, and when Options.NoCost disabled accounting.
+	Cost *obs.QueryCost
 }
 
 // RuleCost is one rule's row of the search profile.
@@ -264,6 +278,7 @@ func (st *SearchStats) Clone() *SearchStats {
 			cp.RuleProfile[name] = &c
 		}
 	}
+	cp.Cost = st.Cost.Clone()
 	return &cp
 }
 

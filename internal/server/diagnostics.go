@@ -40,6 +40,10 @@ func RegisterDiagnostics(mux *http.ServeMux, reg *telemetry.Registry, ready func
 		if reg == nil {
 			return
 		}
+		// Refresh the process gauges and runtime histogram deltas (GC
+		// pauses, sched latency) so every scrape carries current process
+		// health, not boot-time values.
+		reg.SampleProcess()
 		if err := reg.WriteProm(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}

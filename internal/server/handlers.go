@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"privanalyzer/internal/api"
 	"privanalyzer/internal/cmdutil"
 	"privanalyzer/internal/core"
+	"privanalyzer/internal/obs"
 	"privanalyzer/internal/programs"
 )
 
@@ -26,6 +29,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job_status", s.handleJobStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
+	mux.HandleFunc("GET /v1/slowlog", s.instrument("slowlog", s.handleSlowLog))
+	mux.HandleFunc("GET /v1/metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
 	RegisterDiagnostics(mux, s.reg, s.Ready)
 	return mux
 }
@@ -97,7 +102,7 @@ type prepared struct {
 	kind     string // "analyze" or "query"
 	priority int
 	timeout  time.Duration
-	run      func(ctx context.Context, obs *jobObserver) (any, error)
+	run      func(ctx context.Context, watch *jobObserver) (any, error)
 }
 
 // prepareAnalyze validates an analyze request and binds it to the program's
@@ -121,13 +126,14 @@ func (s *Server) prepareAnalyze(req api.AnalyzeRequest) (*prepared, *requestErro
 		kind:     "analyze",
 		priority: req.Priority,
 		timeout:  req.Search.Timeout.Std(),
-		run: func(ctx context.Context, obs *jobObserver) (any, error) {
+		run: func(ctx context.Context, watch *jobObserver) (any, error) {
 			o := opts
-			obs.attach(&o.Search)
+			watch.attach(&o.Search)
 			a, err := core.AnalyzeContext(ctx, p, o)
 			if err != nil {
 				return nil, err
 			}
+			s.recordSlow(ctx, "analyze", p.Name, analysisVerdicts(a), analysisCost(a))
 			return api.FromAnalysis(a, req.Search.Stats), nil
 		},
 	}, nil
@@ -153,11 +159,14 @@ func (s *Server) prepareQuery(req api.QueryRequest) (*prepared, *requestError) {
 		kind:     "query",
 		priority: req.Priority,
 		timeout:  req.Search.Timeout.Std(),
-		run: func(ctx context.Context, obs *jobObserver) (any, error) {
-			obs.attach(&q.Options)
+		run: func(ctx context.Context, watch *jobObserver) (any, error) {
+			watch.attach(&q.Options)
 			res, err := checker.Run(ctx, q)
 			if err != nil {
 				return nil, err
+			}
+			if res.Stats != nil {
+				s.recordSlow(ctx, "query", desc, res.Verdict.String(), res.Stats.Cost)
 			}
 			return api.QueryResponse{
 				APIVersion:  api.Version,
@@ -213,6 +222,99 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveSync(w, r, p)
+}
+
+// analysisCost sums the cost vectors of every query an analysis ran. Nil
+// when no query carried one (the request disabled the ledger).
+func analysisCost(a *core.Analysis) *obs.QueryCost {
+	var total *obs.QueryCost
+	for i := range a.Phases {
+		for _, st := range a.Phases[i].Stats {
+			if st == nil || st.Cost == nil {
+				continue
+			}
+			if total == nil {
+				total = &obs.QueryCost{}
+			}
+			total.Add(st.Cost)
+		}
+	}
+	return total
+}
+
+// analysisVerdicts renders an analysis's verdict grid as one glyph string in
+// grid order (phases outer, attacks inner) — the slowlog's compact outcome
+// summary.
+func analysisVerdicts(a *core.Analysis) string {
+	var b strings.Builder
+	for i := range a.Phases {
+		for _, v := range a.Phases[i].Verdicts {
+			if v == 0 {
+				continue // attack not run
+			}
+			b.WriteString(v.String())
+		}
+	}
+	return b.String()
+}
+
+// handleSlowLog reports the top-K costliest requests since boot, costliest
+// first. GET /v1/slowlog[?n=]. The journal is observational: reading it
+// never touches the pool, so it stays responsive while the queue is
+// saturated — exactly when an operator wants it.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+				"n must be a positive integer")
+			return
+		}
+		n = parsed
+	}
+	entries, admitted := s.slow.snapshot(n)
+	resp := api.SlowLogResponse{
+		APIVersion: api.Version,
+		Capacity:   s.slow.capacity,
+		Admitted:   admitted,
+		Entries:    make([]api.SlowQuery, len(entries)),
+	}
+	for i, e := range entries {
+		resp.Entries[i] = api.SlowQuery{
+			Seq:         e.seq,
+			Time:        e.time.UTC().Format(time.RFC3339Nano),
+			Kind:        e.kind,
+			Label:       e.label,
+			RequestID:   e.requestID,
+			Priority:    e.priority,
+			QueueWaitNS: e.queueWaitNS,
+			Verdicts:    e.verdicts,
+			Cost:        *api.FromQueryCost(&e.cost),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetricsJSON reports the telemetry registry as JSON — the same
+// snapshot path the Prometheus text endpoint renders, typed for consumers
+// without a Prometheus parser. GET /v1/metrics.json.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	s.reg.SampleProcess()
+	snap := s.reg.Snapshot()
+	resp := api.MetricsResponse{
+		APIVersion: api.Version,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: make(map[string]api.HistogramV1, len(snap.Histograms)),
+	}
+	for name, h := range snap.Histograms {
+		resp.Histograms[name] = api.HistogramV1{
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Mean: h.Mean, P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleVersion reports the binary's build identity. GET /v1/version.

@@ -59,6 +59,7 @@ type jobRecord struct {
 
 	mu      sync.Mutex
 	pooled  *job // queue handle while pending (position); nil after pickup
+	waitNS  int64
 	status  string
 	stats   *api.SearchStats
 	statsCh chan struct{} // closed and replaced on every stats update
@@ -92,9 +93,15 @@ func (j *jobRecord) setPooled(p *job) {
 	j.mu.Unlock()
 }
 
+// setRunning flips the job to running and records its queue wait from the
+// pool handle. A job picked up before setPooled lands reads wait 0 — the
+// queue was empty, so the wait truly was ~0.
 func (j *jobRecord) setRunning() {
 	j.mu.Lock()
 	j.status = api.JobRunning
+	if j.pooled != nil {
+		j.waitNS = time.Since(j.pooled.enqueuedAt).Nanoseconds()
+	}
 	j.pooled = nil
 	j.mu.Unlock()
 }
@@ -305,6 +312,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execJob(j *jobRecord, p *prepared) {
 	j.setRunning()
 	ctx := telemetry.NewContext(s.base, s.reg)
+	// Jobs descend from the server base, not the submitting request, so they
+	// carry their own observability meta (queue wait, priority) for the
+	// slow-query journal.
+	ctx, meta := withReqMeta(ctx)
+	j.mu.Lock()
+	meta.queueWaitNS.Store(j.waitNS)
+	j.mu.Unlock()
+	meta.priority.Store(int64(p.priority))
 	lg := s.log.With("job", j.id)
 	if j.requestID != "" {
 		lg = lg.With("request_id", j.requestID)
@@ -321,12 +336,12 @@ func (s *Server) execJob(j *jobRecord, p *prepared) {
 		defer cancel()
 	}
 
-	obs := &jobObserver{
+	watch := &jobObserver{
 		rec:      j.rec,
 		interval: s.cfg.JobStatsInterval,
 		onStats:  func(st *rewrite.SearchStats) { j.setStats(api.FromSearchStats(st)) },
 	}
-	v, err := p.run(ctx, obs)
+	v, err := p.run(ctx, watch)
 	var buf bytes.Buffer
 	if err == nil {
 		err = api.Encode(&buf, v)

@@ -1,13 +1,40 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"privanalyzer/internal/telemetry"
 )
+
+// reqMeta is the per-request observability carrier threaded through the
+// context: the pool fills in what the handler can't know up front (queue
+// wait, effective priority), and both the access log and the slow-query
+// journal read it after the fact. Atomics because the filling happens on a
+// pool worker while the access log reads on the handler goroutine.
+type reqMeta struct {
+	queueWaitNS atomic.Int64
+	priority    atomic.Int64
+}
+
+type reqMetaKey struct{}
+
+// withReqMeta attaches a fresh carrier to ctx and returns both.
+func withReqMeta(ctx context.Context) (context.Context, *reqMeta) {
+	m := &reqMeta{}
+	return context.WithValue(ctx, reqMetaKey{}, m), m
+}
+
+// reqMetaFrom returns the context's carrier, or nil (job contexts descend
+// from the server base and get their own).
+func reqMetaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(reqMetaKey{}).(*reqMeta)
+	return m
+}
 
 // newRequestID mints a correlation id for requests that arrive without one:
 // 8 random bytes, hex — short enough to read in a log line, wide enough to
@@ -70,12 +97,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h(sw, r.WithContext(telemetry.WithRequestID(r.Context(), id)))
+		ctx, meta := withReqMeta(telemetry.WithRequestID(r.Context(), id))
+		h(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
 		s.reg.Timer(routeMetricName(route, sw.status)).Observe(elapsed)
+		// queue_wait_ns and priority make queue saturation visible per
+		// request: a slow response splits into "sat in the queue" vs "ran
+		// long". Both stay zero on routes that never touch the pool.
 		s.log.Info("http request",
 			"component", "server",
 			"route", route,
@@ -83,6 +114,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			"path", r.URL.Path,
 			"status", sw.status,
 			"request_id", id,
+			"queue_wait_ns", meta.queueWaitNS.Load(),
+			"priority", meta.priority.Load(),
 			"elapsed", elapsed)
 	}
 }

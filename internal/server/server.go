@@ -55,6 +55,10 @@ type Config struct {
 	// stats frames). 0 keeps the engine's default cadence: one snapshot per
 	// completed depth level.
 	JobStatsInterval time.Duration
+	// SlowLog bounds the slow-query journal (GET /v1/slowlog): the top-K
+	// costliest requests are retained. 0 = 32. Requests running with the
+	// cost ledger disabled (no_cost) never enter the journal.
+	SlowLog int
 	// Registry receives the server and engine metrics. Nil builds one.
 	Registry *telemetry.Registry
 	// Logger receives structured logs. Nil discards.
@@ -70,6 +74,7 @@ type Server struct {
 	pool     *pool
 	checkers *checkerLRU
 	jobs     *jobRegistry
+	slow     *slowLog
 	mux      *http.ServeMux
 
 	// base is the context async jobs (and Serve's requests) descend from: a
@@ -116,6 +121,7 @@ func New(cfg Config) *Server {
 		pool:     newPool(cfg.Concurrency, cfg.QueueDepth),
 		checkers: newCheckerLRU(cfg.Checkers),
 		jobs:     newJobRegistry(),
+		slow:     newSlowLog(cfg.SlowLog),
 		drainCh:  make(chan struct{}),
 	}
 	s.base, s.killBase = context.WithCancel(context.Background())
@@ -128,10 +134,12 @@ func New(cfg Config) *Server {
 		"rosa_succ_cache_hits_total", "rosa_succ_cache_misses_total",
 		"rosa_compiled_matches_total", "rosa_fallback_matches_total",
 		"rosa_recorder_dropped_events_total",
+		"server_slowlog_admitted_total",
 	} {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge("rosa_compiled_rules")
+	s.reg.Gauge("server_slowlog_entries")
 	s.reg.Gauge("server_queue_pending")
 	s.reg.Gauge("server_queue_inflight")
 	s.reg.Gauge("server_checkers_resident")
@@ -142,10 +150,15 @@ func New(cfg Config) *Server {
 	s.reg.Timer("server_queue_wait_ns")
 	for _, route := range []string{
 		"analyze", "query", "programs", "version", "job_status", "job_events",
+		"slowlog", "metrics_json",
 	} {
 		s.reg.Timer("server_http_" + route + "_200_ns")
 	}
 	s.reg.Timer("server_http_jobs_202_ns") // job submission acknowledges with 202
+	// Boot sample of the runtime's process metrics, so /metrics and
+	// /v1/metrics.json expose the process_* schema before the first scrape;
+	// every scrape re-samples.
+	s.reg.SampleProcess()
 	s.mux = s.routes()
 	return s
 }
@@ -188,7 +201,15 @@ func (s *Server) run(parent context.Context, priority int, timeout time.Duration
 	s.reg.Gauge("server_queue_pending").Set(int64(pending))
 	s.reg.Gauge("server_queue_inflight").Set(int64(inflight))
 	var err error
+	submitted := time.Now()
 	submitErr := s.pool.submit(parent, priority, func() {
+		// The pool worker is the first to know the request's queue wait;
+		// stamp it (and the effective priority) onto the request's carrier
+		// for the access log and the slow-query journal.
+		if m := reqMetaFrom(parent); m != nil {
+			m.queueWaitNS.Store(time.Since(submitted).Nanoseconds())
+			m.priority.Store(int64(priority))
+		}
 		ctx := telemetry.NewContext(parent, s.reg)
 		lg := s.log
 		if id := telemetry.RequestID(parent); id != "" {

@@ -1,0 +1,154 @@
+package telemetry
+
+// Process-level runtime metrics: a runtime/metrics → Registry bridge that
+// turns the Go runtime's own instrumentation into the registry's gauges and
+// histograms, so one scrape of /metrics (or /v1/metrics.json) carries the
+// process health signals next to the engine's counters:
+//
+//	process_goroutines            gauge  live goroutine count
+//	process_heap_objects_bytes    gauge  live heap (bytes in objects)
+//	process_heap_allocs_bytes     gauge  cumulative allocation volume
+//	process_gc_cycles             gauge  completed GC cycles
+//	process_gc_pause_ns           hist   stop-the-world pause durations
+//	process_sched_latency_ns      hist   runnable-goroutine scheduling latency
+//
+// The two histograms ingest runtime/metrics Float64Histograms by delta:
+// each SampleProcess reads the cumulative runtime histogram, subtracts the
+// previous scrape's bucket counts, and feeds the new observations into the
+// registry histogram at each bucket's midpoint (converted to nanoseconds).
+// The sampler is per-Registry and mutex-guarded, so concurrent scrapes never
+// double-ingest a delta.
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime/metrics keys the sampler reads. All are present in every
+// supported Go release; readProcessSamples tolerates absent keys (KindBad)
+// anyway, per the package's compatibility guidance.
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapInUse  = "/memory/classes/heap/objects:bytes"
+	sampleHeapAllocs = "/gc/heap/allocs:bytes"
+	sampleGCCycles   = "/gc/cycles/total:gc-cycles"
+	sampleGCPauses   = "/gc/pauses:seconds"
+	sampleSchedLat   = "/sched/latencies:seconds"
+)
+
+// processSampler carries the previous scrape's cumulative histogram bucket
+// counts, so each SampleProcess ingests only the delta.
+type processSampler struct {
+	gcPausePrev  []uint64
+	schedLatPrev []uint64
+}
+
+// SampleProcess reads the Go runtime's process metrics and publishes them
+// into the registry (gauges overwritten, histogram deltas appended). Called
+// at server boot and on each metrics scrape — the cost is one metrics.Read.
+// Safe on nil and under concurrency.
+func (r *Registry) SampleProcess() {
+	if r == nil {
+		return
+	}
+	samples := []metrics.Sample{
+		{Name: sampleGoroutines},
+		{Name: sampleHeapInUse},
+		{Name: sampleHeapAllocs},
+		{Name: sampleGCCycles},
+		{Name: sampleGCPauses},
+		{Name: sampleSchedLat},
+	}
+	metrics.Read(samples)
+
+	r.procMu.Lock()
+	defer r.procMu.Unlock()
+	if r.proc == nil {
+		r.proc = &processSampler{}
+	}
+	for i := range samples {
+		s := &samples[i]
+		switch s.Name {
+		case sampleGoroutines:
+			setUint64Gauge(r.Gauge("process_goroutines"), s)
+		case sampleHeapInUse:
+			setUint64Gauge(r.Gauge("process_heap_objects_bytes"), s)
+		case sampleHeapAllocs:
+			setUint64Gauge(r.Gauge("process_heap_allocs_bytes"), s)
+		case sampleGCCycles:
+			setUint64Gauge(r.Gauge("process_gc_cycles"), s)
+		case sampleGCPauses:
+			r.proc.gcPausePrev = ingestSecondsHistogram(
+				r.Histogram("process_gc_pause_ns"), s, r.proc.gcPausePrev)
+		case sampleSchedLat:
+			r.proc.schedLatPrev = ingestSecondsHistogram(
+				r.Histogram("process_sched_latency_ns"), s, r.proc.schedLatPrev)
+		}
+	}
+}
+
+// setUint64Gauge stores a KindUint64 sample into g; other kinds are skipped.
+func setUint64Gauge(g *Gauge, s *metrics.Sample) {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return
+	}
+	v := s.Value.Uint64()
+	if v > math.MaxInt64 {
+		v = math.MaxInt64
+	}
+	g.Set(int64(v))
+}
+
+// ingestSecondsHistogram feeds the delta between a cumulative runtime
+// Float64Histogram (seconds) and the previous scrape's bucket counts into h
+// as nanosecond observations at each bucket's midpoint, and returns the new
+// cumulative counts for the next delta. A bucket-layout change (possible
+// across runtime versions, not within a process run) resets the baseline.
+func ingestSecondsHistogram(h *Histogram, s *metrics.Sample, prev []uint64) []uint64 {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return prev
+	}
+	fh := s.Value.Float64Histogram()
+	if fh == nil {
+		return prev
+	}
+	if len(prev) != len(fh.Counts) {
+		prev = make([]uint64, len(fh.Counts))
+	}
+	for i, c := range fh.Counts {
+		d := c - prev[i]
+		if d == 0 || c < prev[i] {
+			continue
+		}
+		h.ObserveN(bucketMidpointNS(fh.Buckets, i), int64(d))
+	}
+	next := make([]uint64, len(fh.Counts))
+	copy(next, fh.Counts)
+	return next
+}
+
+// bucketMidpointNS returns bucket i's representative value in nanoseconds.
+// Buckets has len(Counts)+1 boundaries; the first may be -Inf and the last
+// +Inf, in which case the finite edge stands in for the midpoint.
+func bucketMidpointNS(bounds []float64, i int) int64 {
+	lo, hi := bounds[i], bounds[i+1]
+	var mid float64
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, +1):
+		return 0
+	case math.IsInf(lo, -1):
+		mid = hi
+	case math.IsInf(hi, +1):
+		mid = lo
+	default:
+		mid = (lo + hi) / 2
+	}
+	ns := mid * 1e9
+	if ns < 0 {
+		return 0
+	}
+	if ns > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(ns)
+}

@@ -38,6 +38,12 @@ type Registry struct {
 	spanMu  sync.Mutex
 	spans   []*Span
 	spanSeq atomic.Int64
+
+	// proc is the registry's runtime/metrics sampler (process.go); one per
+	// registry so repeated SampleProcess calls ingest histogram deltas
+	// exactly once.
+	procMu sync.Mutex
+	proc   *processSampler
 }
 
 // New returns an empty registry.
@@ -189,15 +195,21 @@ func newHistogram() *Histogram {
 
 // Observe records one value. Negative values are clamped to 0 (the histogram
 // models magnitudes: durations, counts). No-op on nil.
-func (h *Histogram) Observe(v int64) {
-	if h == nil {
+func (h *Histogram) Observe(v int64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of value v in one shot — the bulk form
+// ingesting pre-bucketed external distributions (runtime/metrics histogram
+// deltas land a whole bucket's count at its representative value). n ≤ 0 and
+// nil receivers are no-ops.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
 		return
 	}
 	if v < 0 {
 		v = 0
 	}
-	h.count.Add(1)
-	h.sum.Add(v)
+	h.count.Add(n)
+	h.sum.Add(v * n)
 	for {
 		cur := h.min.Load()
 		if v >= cur || h.min.CompareAndSwap(cur, v) {
@@ -210,7 +222,7 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
-	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.buckets[bits.Len64(uint64(v))].Add(n)
 }
 
 // Count returns the number of observations (0 on nil).
@@ -364,6 +376,54 @@ func (r *Registry) snapshot() snapshot {
 		s.hists[name] = h
 	}
 	return s
+}
+
+// HistogramSummary is one histogram's exported summary: the same figures the
+// Prometheus encoder renders, in a marshal-ready struct.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the registry in marshal-ready
+// form: counters and gauges by name, histograms as quantile summaries. It is
+// built on the same snapshot path the Prometheus text encoder renders from,
+// so GET /metrics and GET /v1/metrics.json always agree (modulo the instant
+// of the scrape).
+type MetricsSnapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]int64            `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// Snapshot materializes the registry's current metrics. Safe on nil (empty
+// maps).
+func (r *Registry) Snapshot() MetricsSnapshot {
+	s := r.snapshot()
+	out := MetricsSnapshot{
+		Counters:   s.counters,
+		Gauges:     s.gauges,
+		Histograms: make(map[string]HistogramSummary, len(s.hists)),
+	}
+	for name, h := range s.hists {
+		out.Histograms[name] = HistogramSummary{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // sortedKeys returns m's keys in lexical order.
