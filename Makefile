@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-chaos bench bench-json bench-baseline bench-baseline-update experiments tables serve fuzz clean
+.PHONY: all build test test-short test-race test-chaos test-chaos-server bench bench-json bench-baseline bench-baseline-update experiments tables serve fuzz clean
 
 all: build test
 
@@ -29,6 +29,16 @@ test-race:
 test-chaos:
 	$(GO) test -race -run 'Chaos|Fault|Checkpoint|Resume|Escalat|Degrad|Panic|Cancel|Signal|Shed|Latency|Compile' \
 		./internal/rewrite/ ./internal/rosa/ ./internal/core/ ./internal/cmdutil/ ./cmd/rosa/
+
+# Serving-layer chaos under the race detector: injected handler panics
+# resolving to 500 envelopes, a stalled worker vs bounded drain, queue-full
+# storms, admission/brownout shedding, deadline expiry in queue, client
+# disconnects, the error-envelope golden, and the saturation storm with
+# byte-identity of admitted verdicts (DESIGN.md §15).
+test-chaos-server:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestDeadline|TestJobDeadline|TestClientDisconnect|TestBrownout|TestServeDrains|TestAdmission|TestRetryAfter|TestParseBrownout|TestClampEscalate|TestError|TestServerPlan' \
+		./internal/server/ ./internal/faultinject/
 
 # Quick full benchmark sweep (one iteration per cell); the default
 # benchtime takes far longer across BenchmarkROSA's ~140 cells.

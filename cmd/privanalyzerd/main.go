@@ -64,6 +64,9 @@ func run(args []string, onListen func(net.Addr)) int {
 		drain       = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for queued and in-flight requests")
 		jobStats    = fs.Duration("job-stats-interval", 0, "throttle async jobs' progress snapshots (SSE stats frames) to this interval (0 = one per completed depth level)")
 		slowlog     = fs.Int("slowlog", 0, "slow-query journal capacity: the top-K costliest requests kept for GET /v1/slowlog (0 = 32)")
+		maxQueue    = fs.Duration("max-queue", 0, "admission cost budget: estimated wall time of queued+running work the server will hold before answering 429 with retry_after_ms (0 = unbounded)")
+		maxDeadline = fs.Duration("max-deadline", 0, "cap on per-request deadline_ms; requests asking for more (or none) get this — queue wait counts against it (0 = no cap)")
+		brownoutF   = fs.String("brownout", "off", "brownout thresholds, e.g. q=48,wait=2s,heap=1G[,interval=250ms,hold=4]: shed low-priority work, then degrade escalation ladders, then reject all but high priority (off = disabled)")
 	)
 	ver := cmdutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +94,11 @@ func run(args []string, onListen func(net.Addr)) int {
 		fmt.Fprintln(os.Stderr, "privanalyzerd:", err)
 		return 2
 	}
+	brownout, err := server.ParseBrownout(*brownoutF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privanalyzerd:", err)
+		return 2
+	}
 
 	srv := server.New(server.Config{
 		Concurrency:      *concurrency,
@@ -100,6 +108,9 @@ func run(args []string, onListen func(net.Addr)) int {
 		DrainTimeout:     *drain,
 		JobStatsInterval: *jobStats,
 		SlowLog:          *slowlog,
+		MaxQueueCost:     *maxQueue,
+		MaxDeadline:      *maxDeadline,
+		Brownout:         brownout,
 		Registry:         telemetry.New(),
 		Logger:           logger,
 	})

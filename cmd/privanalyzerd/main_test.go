@@ -102,4 +102,10 @@ func TestDaemonFlagValidation(t *testing.T) {
 	if code := run([]string{"-log-level", "nope"}, nil); code != 2 {
 		t.Errorf("bad -log-level exit = %d, want 2", code)
 	}
+	if code := run([]string{"-brownout", "q=zero"}, nil); code != 2 {
+		t.Errorf("bad -brownout exit = %d, want 2", code)
+	}
+	if code := run([]string{"-brownout", "interval=1s"}, nil); code != 2 {
+		t.Errorf("signal-less -brownout exit = %d, want 2", code)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,8 +18,11 @@ import (
 // backoff. The events endpoint replays a finished job's full frame sequence
 // on every connect, so reconnecting is lossless — the terminal result frame
 // arrives on whichever attempt finds the job finished. Client-error statuses
-// (4xx: bad URL, expired job) never retry; connection failures, 5xx, and
-// mid-stream drops do.
+// (4xx: bad URL, expired job) never retry — except 429, the server's
+// admission gate saying "later": it retries after the server's own hint
+// (retry_after_ms in the envelope, or the Retry-After header), capped by
+// watchMaxBackoff. Connection failures, 5xx, and mid-stream drops retry on
+// the exponential ladder.
 const (
 	watchMaxAttempts = 6
 	watchBaseBackoff = 500 * time.Millisecond
@@ -64,9 +68,18 @@ func watchJobTo(url string, out, errw io.Writer, baseBackoff time.Duration) int 
 			fmt.Fprintf(w.errw, "rosa: -watch: giving up after %d attempts\n", watchMaxAttempts)
 			return 1
 		}
+		wait := backoff
+		if outcome.retryAfter > 0 {
+			// The server told us when to come back; its hint replaces this
+			// step of the ladder (still capped — a pathological hint must
+			// not park the client).
+			if wait = outcome.retryAfter; wait > watchMaxBackoff {
+				wait = watchMaxBackoff
+			}
+		}
 		fmt.Fprintf(w.errw, "rosa: -watch: stream dropped; reconnecting in %s (attempt %d/%d)\n",
-			backoff, attempt+1, watchMaxAttempts)
-		time.Sleep(backoff)
+			wait, attempt+1, watchMaxAttempts)
+		time.Sleep(wait)
 		if backoff *= 2; backoff > watchMaxBackoff {
 			backoff = watchMaxBackoff
 		}
@@ -79,10 +92,13 @@ type streamOutcome struct {
 	terminal bool
 	code     int
 	// retryable: the failure is transient (connect error, 5xx, dropped
-	// stream) rather than a client error.
+	// stream, 429 admission rejection) rather than a client error.
 	retryable bool
 	// sawFrame: at least one frame was dispatched before the drop.
 	sawFrame bool
+	// retryAfter: the server's backoff hint on a 429 (retry_after_ms from
+	// the error envelope, or the Retry-After header); 0 = no hint.
+	retryAfter time.Duration
 }
 
 // streamOnce opens the SSE stream once and pumps frames until a terminal
@@ -103,8 +119,13 @@ func streamOnce(url string, w *watcher) streamOutcome {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		fmt.Fprintf(w.errw, "rosa: -watch: %s: %s\n%s", url, resp.Status, body)
-		// 4xx means the request itself is wrong (bad job id, expired job):
-		// retrying replays the same mistake.
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Admission control shed us, not a broken request: retry when
+			// the server says the queue will have moved.
+			return streamOutcome{retryable: true, retryAfter: retryAfterHint(resp, body)}
+		}
+		// Other 4xx means the request itself is wrong (bad job id, expired
+		// job): retrying replays the same mistake.
 		return streamOutcome{retryable: resp.StatusCode >= 500}
 	}
 
@@ -139,6 +160,22 @@ func streamOnce(url string, w *watcher) streamOutcome {
 		fmt.Fprintln(w.errw, "rosa: -watch: stream ended without a result frame")
 	}
 	return out
+}
+
+// retryAfterHint extracts the server's 429 backoff hint: the error
+// envelope's retry_after_ms when the body parses, else the Retry-After
+// header's whole seconds. 0 when neither is present.
+func retryAfterHint(resp *http.Response, body []byte) time.Duration {
+	var env api.ErrorResponse
+	if json.Unmarshal(body, &env) == nil && env.Error.RetryAfterMS > 0 {
+		return time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
 }
 
 // watcher renders one job stream: progress line on stderr, terminal

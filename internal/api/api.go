@@ -87,6 +87,15 @@ type SearchParams struct {
 	// NoCost disables the per-query cost ledger (SearchStats.Cost and the
 	// slow-query journal's admission) for this request. CLI: -no-cost.
 	NoCost bool `json:"no_cost,omitempty"`
+	// DeadlineMS is the request's total deadline in milliseconds, measured
+	// from admission — queue wait counts against it, unlike Timeout, which
+	// starts when a worker picks the request up. A request still queued when
+	// the deadline expires is withdrawn without running (504,
+	// "deadline_exceeded"); a request already executing resolves through the
+	// engine's context-deadline path to the ⏱ verdict. The server clamps the
+	// value to its -max-deadline; 0 means "no client deadline" (the server's
+	// -max-deadline, when set, still applies).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // OrDefaults fills zero-valued knobs from d (a server's standing defaults);
@@ -110,6 +119,9 @@ func (p SearchParams) OrDefaults(d SearchParams) SearchParams {
 	p.Stats = p.Stats || d.Stats
 	p.NoCompile = p.NoCompile || d.NoCompile
 	p.NoCost = p.NoCost || d.NoCost
+	if p.DeadlineMS == 0 {
+		p.DeadlineMS = d.DeadlineMS
+	}
 	return p
 }
 
@@ -472,29 +484,64 @@ type VersionResponse struct {
 	VersionInfo
 }
 
-// ErrorResponse is the uniform error envelope every endpoint returns on
-// failure, alongside the HTTP status.
-type ErrorResponse struct {
-	Error ErrorDetail `json:"error"`
+// ErrorV1 is the uniform, versioned error envelope every endpoint returns on
+// failure, alongside the HTTP status. Every rejection class — validation,
+// not-found, queue-full, admission control, deadline expiry, shutdown,
+// handler fault — renders through this one shape (pinned by the envelope
+// golden test), so a client needs exactly one error decoder.
+type ErrorV1 struct {
+	APIVersion string      `json:"api_version"`
+	Error      ErrorDetail `json:"error"`
 }
+
+// ErrorResponse is the pre-unification name for ErrorV1, kept as an alias so
+// embedders' decode call sites keep compiling; new code should say ErrorV1.
+type ErrorResponse = ErrorV1
 
 // ErrorDetail carries the machine code and the human message.
 type ErrorDetail struct {
-	// Code is one of "bad_request", "not_found", "saturated", "canceled",
-	// "internal".
+	// Code is one of the Code* constants below — a stable, machine-matchable
+	// word; clients branch on it, never on Message.
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`
+	// RetryAfterMS, when non-zero, is the server's backoff hint: how long a
+	// client should wait before retrying, derived from the current queue-wait
+	// p95. Present on load-shedding rejections ("queue_full",
+	// "admission_rejected"); the same hint rides the Retry-After header in
+	// whole seconds.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-// Error codes.
+// Error codes. Stable wire contract: codes are added, never renamed.
 const (
+	// CodeBadRequest: the request body failed validation (400).
 	CodeBadRequest = "bad_request"
-	CodeNotFound   = "not_found"
-	CodeSaturated  = "saturated"
-	CodeCanceled   = "canceled"
-	CodeInternal   = "internal"
+	// CodeNotFound: unknown program, job, or route (404).
+	CodeNotFound = "not_found"
+	// CodeQueueFull: the pending queue is at its depth bound (503 +
+	// retry_after_ms).
+	CodeQueueFull = "queue_full"
+	// CodeAdmissionRejected: admission control shed the request — the
+	// estimated-cost backlog budget is spent, or a brownout level rejects the
+	// request's priority class (429 + retry_after_ms).
+	CodeAdmissionRejected = "admission_rejected"
+	// CodeDeadlineExceeded: the request's deadline_ms expired while it was
+	// still queued; it never ran (504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeShutdown: the server began graceful drain; queued-but-unstarted
+	// work is withdrawn with this terminal answer instead of silence (503).
+	CodeShutdown = "shutdown"
+	// CodeCanceled: the client went away before the work started (503; the
+	// envelope is best-effort).
+	CodeCanceled = "canceled"
+	// CodeInternal: a handler fault — including a recovered panic (500).
+	CodeInternal = "internal"
 )
+
+// CodeSaturated is the pre-unification name for CodeQueueFull. Deprecated:
+// new code matches CodeQueueFull; the wire value changed to "queue_full".
+const CodeSaturated = CodeQueueFull
 
 // Encode writes v as two-space-indented JSON with a trailing newline — the
 // one rendering every producer (server handlers, privanalyzer -json) uses,

@@ -104,6 +104,15 @@ func TestSearchParamsOrDefaults(t *testing.T) {
 	if got.Budget != 7 || got.Escalate != "4:2" || got.Workers != 2 {
 		t.Errorf("merge = %+v", got)
 	}
+	// deadline_ms merges like the other knobs: the server default fills a
+	// zero, an explicit request value wins.
+	d.DeadlineMS = 5000
+	if got := (SearchParams{}).OrDefaults(d); got.DeadlineMS != 5000 {
+		t.Errorf("zero deadline_ms = %d, want default 5000", got.DeadlineMS)
+	}
+	if got := (SearchParams{DeadlineMS: 250}).OrDefaults(d); got.DeadlineMS != 250 {
+		t.Errorf("explicit deadline_ms = %d, want 250", got.DeadlineMS)
+	}
 }
 
 func TestQueryRequestBuildValidation(t *testing.T) {

@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerPlanNilSafe(t *testing.T) {
+	var p *ServerPlan
+	p.BeforeExecute() // must not panic
+	if p.StealAdmission() {
+		t.Error("nil plan stole an admission")
+	}
+	if p.Requests() != 0 {
+		t.Error("nil plan counted requests")
+	}
+}
+
+func TestServerPlanPanicsAtExactRequest(t *testing.T) {
+	p := &ServerPlan{PanicAtRequest: 2}
+	p.BeforeExecute() // request 1: no fault
+	didPanic := func() (v any) {
+		defer func() { v = recover() }()
+		p.BeforeExecute()
+		return nil
+	}()
+	pv, ok := didPanic.(ServerPanicValue)
+	if !ok {
+		t.Fatalf("request 2 panicked with %v, want ServerPanicValue", didPanic)
+	}
+	if pv.Request != 2 {
+		t.Errorf("panic value request = %d, want 2", pv.Request)
+	}
+	p.BeforeExecute() // request 3: the fault fired once, not forever
+	if got := p.Requests(); got != 3 {
+		t.Errorf("Requests() = %d, want 3", got)
+	}
+}
+
+func TestServerPlanStallDuration(t *testing.T) {
+	p := &ServerPlan{StallAtRequest: 1, StallFor: 30 * time.Millisecond}
+	start := time.Now()
+	p.BeforeExecute()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("stall lasted %s, want ≥ 30ms", elapsed)
+	}
+	start = time.Now()
+	p.BeforeExecute() // request 2: no stall
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("request 2 stalled %s; the fault must fire once", elapsed)
+	}
+}
+
+func TestServerPlanStormConsumedExactly(t *testing.T) {
+	p := &ServerPlan{RejectSubmits: 5}
+	var stolen int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p.StealAdmission() {
+				mu.Lock()
+				stolen++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if stolen != 5 {
+		t.Errorf("storm stole %d admissions under contention, want exactly 5", stolen)
+	}
+	if p.StealAdmission() {
+		t.Error("storm kept stealing after RejectSubmits was spent")
+	}
+}

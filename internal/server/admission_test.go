@@ -1,0 +1,98 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionBudget(t *testing.T) {
+	// Budget = 25ms of estimated backlog; the default query estimate is
+	// 10ms, so two queries fit and the third is rejected until one releases.
+	a := NewAdmission(25 * time.Millisecond)
+	t1, ok := a.Admit("query")
+	if !ok {
+		t.Fatal("first admit rejected")
+	}
+	t2, ok := a.Admit("query")
+	if !ok {
+		t.Fatal("second admit rejected")
+	}
+	if _, ok := a.Admit("query"); ok {
+		t.Fatalf("third admit accepted with backlog %s over budget", a.Backlog())
+	}
+	t1.release()
+	t3, ok := a.Admit("query")
+	if !ok {
+		t.Fatal("admit after release rejected")
+	}
+	t2.release()
+	t3.release()
+	if got := a.Backlog(); got != 0 {
+		t.Fatalf("backlog after all releases = %s, want 0", got)
+	}
+}
+
+func TestAdmissionTicketReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(time.Second)
+	tkt, _ := a.Admit("query")
+	tkt.release()
+	tkt.release() // terminal paths race; double release must not underflow
+	if got := a.Backlog(); got != 0 {
+		t.Fatalf("backlog after double release = %s, want 0", got)
+	}
+	var nilTkt *ticket
+	nilTkt.release() // nil-safe
+}
+
+func TestAdmissionExpensiveSingleRequestStillAdmitted(t *testing.T) {
+	// A kind whose estimate exceeds the whole budget must still be admitted
+	// into an empty server — the gate sheds bursts, it does not starve
+	// expensive kinds forever.
+	a := NewAdmission(time.Millisecond)
+	a.Observe("analyze", 10*time.Second)
+	tkt, ok := a.Admit("analyze")
+	if !ok {
+		t.Fatal("expensive request rejected by an empty server")
+	}
+	// But a second one on top of the outstanding backlog is shed.
+	if _, ok := a.Admit("analyze"); ok {
+		t.Fatal("second expensive request admitted over budget")
+	}
+	tkt.release()
+}
+
+func TestAdmissionEWMATracksObservations(t *testing.T) {
+	a := NewAdmission(0)
+	if got := a.Estimate("query"); got != time.Duration(defaultQueryCostNS) {
+		t.Fatalf("cold estimate = %s, want default %s", got, time.Duration(defaultQueryCostNS))
+	}
+	a.Observe("query", 100*time.Millisecond)
+	if got := a.Estimate("query"); got != 100*time.Millisecond {
+		t.Fatalf("first observation = %s, want 100ms (seeds the EWMA)", got)
+	}
+	a.Observe("query", 200*time.Millisecond)
+	got := a.Estimate("query")
+	if got <= 100*time.Millisecond || got >= 200*time.Millisecond {
+		t.Fatalf("EWMA after 100ms,200ms = %s, want strictly between", got)
+	}
+	// Zero budget never rejects.
+	for i := 0; i < 100; i++ {
+		if _, ok := a.Admit("query"); !ok {
+			t.Fatal("zero budget rejected")
+		}
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	s := New(Config{Concurrency: 1, Logger: nil})
+	defer s.Close()
+	// Cold histogram: the floor, not zero.
+	if got := s.retryAfter(); got != minRetryAfter {
+		t.Fatalf("cold retryAfter = %s, want floor %s", got, minRetryAfter)
+	}
+	// An outlier-poisoned p95 is capped.
+	s.reg.Timer("server_queue_wait_ns").Observe(10 * time.Minute)
+	if got := s.retryAfter(); got != maxRetryAfter {
+		t.Fatalf("poisoned retryAfter = %s, want cap %s", got, maxRetryAfter)
+	}
+}

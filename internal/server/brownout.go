@@ -1,0 +1,324 @@
+package server
+
+// Brownout degradation: when the server is overloaded it degrades service in
+// declared steps instead of collapsing. A controller goroutine samples three
+// load signals — pending-queue depth, queue-wait p95, and the process's live
+// heap (the telemetry process gauge) — on a fixed interval and steps the
+// brownout level up one per breached sample, down one after Hold consecutive
+// healthy samples (hysteresis, so the level does not flap at the threshold).
+//
+// The levels, in order of increasing desperation:
+//
+//	0 normal     — no degradation
+//	1 shed-bg    — admission rejects the background class (priority < 0)
+//	2 degrade    — additionally, Escalate ladders are forced to start at a
+//	               low rung, so each admitted search proves it needs budget
+//	               before it gets budget (the serving analogue of PR 5's
+//	               mem-pressure degradation)
+//	3 emergency  — admission rejects everything but high priority (> 0), and
+//	               /readyz reports not-ready so load balancers stop routing
+//
+// Every transition is logged and counted (server_brownout_transitions_total);
+// the current level is the server_brownout_level gauge, visible in /readyz
+// detail, /metrics, and /v1/metrics.json.
+
+import (
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Brownout levels. See the package comment above for what each sheds.
+const (
+	BrownoutNormal         = 0
+	BrownoutShedBackground = 1
+	BrownoutDegradeSearch  = 2
+	BrownoutEmergency      = 3
+)
+
+// brownoutEscalateStart is the forced Escalate ladder start at
+// BrownoutDegradeSearch and above: low enough that cheap queries finish on
+// the first rung, high enough that the ladder is not pure overhead. Requests
+// that disable escalation (no_escalate) run at their full budget regardless —
+// the ladder start is meaningless without a ladder.
+const brownoutEscalateStart = 1 << 9
+
+// brownoutLevelName names a level for logs and envelopes.
+func brownoutLevelName(lvl int) string {
+	switch {
+	case lvl <= BrownoutNormal:
+		return "normal"
+	case lvl == BrownoutShedBackground:
+		return "shed-background"
+	case lvl == BrownoutDegradeSearch:
+		return "degrade-search"
+	default:
+		return "emergency"
+	}
+}
+
+// BrownoutConfig declares the overload thresholds. The controller runs only
+// when at least one threshold is set; a breach of ANY set threshold counts
+// the sample as overloaded.
+type BrownoutConfig struct {
+	// QueueHigh is the pending-queue depth at or above which a sample is
+	// overloaded. 0 = signal unused.
+	QueueHigh int
+	// WaitP95 is the queue-wait p95 at or above which a sample is
+	// overloaded. 0 = signal unused.
+	WaitP95 time.Duration
+	// HeapBytes is the live-heap size (process_heap_objects_bytes) at or
+	// above which a sample is overloaded. 0 = signal unused.
+	HeapBytes int64
+	// Interval is the sampling cadence. 0 = 250ms.
+	Interval time.Duration
+	// Hold is how many consecutive healthy samples step the level back down
+	// by one — the hysteresis. 0 = 4.
+	Hold int
+}
+
+// enabled reports whether any overload signal is configured.
+func (c BrownoutConfig) enabled() bool {
+	return c.QueueHigh > 0 || c.WaitP95 > 0 || c.HeapBytes > 0
+}
+
+// String renders the config in the -brownout flag grammar.
+func (c BrownoutConfig) String() string {
+	if !c.enabled() {
+		return "off"
+	}
+	var parts []string
+	if c.QueueHigh > 0 {
+		parts = append(parts, "q="+strconv.Itoa(c.QueueHigh))
+	}
+	if c.WaitP95 > 0 {
+		parts = append(parts, "wait="+c.WaitP95.String())
+	}
+	if c.HeapBytes > 0 {
+		parts = append(parts, "heap="+strconv.FormatInt(c.HeapBytes, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseBrownout parses the -brownout flag grammar: "off" (or empty) disables,
+// otherwise a comma list of key=value settings:
+//
+//	q=N          queue-depth threshold
+//	wait=DUR     queue-wait p95 threshold (Go duration, e.g. 500ms)
+//	heap=BYTES   live-heap threshold; K/M/G suffixes are binary multiples
+//	interval=DUR sampling cadence (default 250ms)
+//	hold=N       healthy samples before stepping down (default 4)
+//
+// At least one of q/wait/heap must be set for the controller to run.
+func ParseBrownout(s string) (BrownoutConfig, error) {
+	var cfg BrownoutConfig
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || val == "" {
+			return cfg, fmt.Errorf("brownout: %q is not key=value", part)
+		}
+		switch key {
+		case "q":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("brownout: q must be a positive integer, got %q", val)
+			}
+			cfg.QueueHigh = n
+		case "wait":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("brownout: wait must be a positive duration, got %q", val)
+			}
+			cfg.WaitP95 = d
+		case "heap":
+			n, err := parseBytes(val)
+			if err != nil {
+				return cfg, fmt.Errorf("brownout: %v", err)
+			}
+			cfg.HeapBytes = n
+		case "interval":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("brownout: interval must be a positive duration, got %q", val)
+			}
+			cfg.Interval = d
+		case "hold":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("brownout: hold must be a positive integer, got %q", val)
+			}
+			cfg.Hold = n
+		default:
+			return cfg, fmt.Errorf("brownout: unknown key %q (want q, wait, heap, interval, hold)", key)
+		}
+	}
+	if !cfg.enabled() {
+		return cfg, fmt.Errorf("brownout: at least one of q=, wait=, heap= is required")
+	}
+	return cfg, nil
+}
+
+// parseBytes parses a byte count with an optional K/M/G binary suffix.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("heap must be a positive byte count (K/M/G suffixes allowed), got %q", s)
+	}
+	return n * mult, nil
+}
+
+// brownout is the load controller. Always present on a Server; the sampling
+// goroutine runs only when the config declares thresholds, so Level() is a
+// constant 0 on an unconfigured server.
+type brownout struct {
+	cfg BrownoutConfig
+	srv *Server
+	log *slog.Logger
+
+	mu      sync.Mutex
+	level   int
+	healthy int // consecutive healthy samples at the current level
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newBrownout(srv *Server, cfg BrownoutConfig) *brownout {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Hold <= 0 {
+		cfg.Hold = 4
+	}
+	b := &brownout{
+		cfg:  cfg,
+		srv:  srv,
+		log:  srv.log,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.enabled() {
+		go b.loop()
+	} else {
+		close(b.done)
+	}
+	return b
+}
+
+// Level reports the current brownout level.
+func (b *brownout) Level() int {
+	if b == nil {
+		return BrownoutNormal
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level
+}
+
+// close stops the sampling goroutine. Idempotent.
+func (b *brownout) close() {
+	if b == nil {
+		return
+	}
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+func (b *brownout) loop() {
+	defer close(b.done)
+	t := time.NewTicker(b.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.step(b.overloaded())
+		}
+	}
+}
+
+// overloaded samples the three load signals and reports whether any set
+// threshold is breached.
+func (b *brownout) overloaded() bool {
+	pending, _ := b.srv.pool.stats()
+	if b.cfg.QueueHigh > 0 && pending >= b.cfg.QueueHigh {
+		return true
+	}
+	if b.cfg.WaitP95 > 0 {
+		p95 := time.Duration(b.srv.reg.Histogram("server_queue_wait_ns").Quantile(0.95))
+		if p95 >= b.cfg.WaitP95 {
+			return true
+		}
+	}
+	if b.cfg.HeapBytes > 0 {
+		b.srv.reg.SampleProcess()
+		if b.srv.reg.Gauge("process_heap_objects_bytes").Value() >= b.cfg.HeapBytes {
+			return true
+		}
+	}
+	return false
+}
+
+// step applies one sample to the hysteresis state machine: up one level per
+// overloaded sample, down one after Hold consecutive healthy samples.
+func (b *brownout) step(overloaded bool) {
+	b.mu.Lock()
+	from := b.level
+	switch {
+	case overloaded:
+		b.healthy = 0
+		if b.level < BrownoutEmergency {
+			b.level++
+		}
+	case b.level > BrownoutNormal:
+		b.healthy++
+		if b.healthy >= b.cfg.Hold {
+			b.level--
+			b.healthy = 0
+		}
+	}
+	to := b.level
+	b.mu.Unlock()
+	if to == from {
+		return
+	}
+	b.srv.reg.Gauge("server_brownout_level").Set(int64(to))
+	b.srv.reg.Counter("server_brownout_transitions_total").Add(1)
+	b.log.Warn("brownout transition",
+		"component", "server",
+		"from", from, "to", to,
+		"from_name", brownoutLevelName(from), "to_name", brownoutLevelName(to))
+}
+
+// degradeSearch reports whether admitted searches should run with the forced
+// low escalation-ladder start.
+func (s *Server) degradeSearch() bool {
+	return s.brown.Level() >= BrownoutDegradeSearch
+}
+
+// clampEscalateStart applies the brownout ladder clamp to a configured start
+// (0 = engine default, which is far above the clamp).
+func clampEscalateStart(start int) int {
+	if start == 0 || start > brownoutEscalateStart {
+		return brownoutEscalateStart
+	}
+	return start
+}

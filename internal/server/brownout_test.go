@@ -1,0 +1,126 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseBrownout(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    BrownoutConfig
+		wantErr string
+	}{
+		{in: "", want: BrownoutConfig{}},
+		{in: "off", want: BrownoutConfig{}},
+		{in: "q=48", want: BrownoutConfig{QueueHigh: 48}},
+		{in: "q=48,wait=2s,heap=1G,interval=100ms,hold=2", want: BrownoutConfig{
+			QueueHigh: 48, WaitP95: 2 * time.Second, HeapBytes: 1 << 30,
+			Interval: 100 * time.Millisecond, Hold: 2,
+		}},
+		{in: "heap=512M", want: BrownoutConfig{HeapBytes: 512 << 20}},
+		{in: "heap=64K", want: BrownoutConfig{HeapBytes: 64 << 10}},
+		{in: "heap=1024", want: BrownoutConfig{HeapBytes: 1024}},
+		{in: "q=0", wantErr: "positive integer"},
+		{in: "wait=-1s", wantErr: "positive duration"},
+		{in: "heap=zzz", wantErr: "byte count"},
+		{in: "bogus=1", wantErr: "unknown key"},
+		{in: "q", wantErr: "key=value"},
+		{in: "interval=250ms", wantErr: "at least one"},
+		{in: "hold=4", wantErr: "at least one"},
+	}
+	for _, tc := range cases {
+		got, err := ParseBrownout(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseBrownout(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBrownout(%q) = %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBrownout(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBrownoutHysteresis(t *testing.T) {
+	// Drive the state machine directly: up one level per overloaded sample,
+	// down one after Hold consecutive healthy samples.
+	s := New(Config{Concurrency: 1})
+	defer s.Close()
+	b := &brownout{cfg: BrownoutConfig{QueueHigh: 1, Hold: 2}, srv: s, log: s.log}
+
+	for i, want := range []int{1, 2, 3, 3} { // saturates at emergency
+		b.step(true)
+		if got := b.Level(); got != want {
+			t.Fatalf("after %d overloaded samples level = %d, want %d", i+1, got, want)
+		}
+	}
+	b.step(false)
+	if got := b.Level(); got != BrownoutEmergency {
+		t.Fatalf("one healthy sample dropped the level to %d — hysteresis broken", got)
+	}
+	b.step(false)
+	if got := b.Level(); got != BrownoutDegradeSearch {
+		t.Fatalf("after Hold healthy samples level = %d, want %d", got, BrownoutDegradeSearch)
+	}
+	// One overloaded sample resets the healthy streak.
+	b.step(false)
+	b.step(true)
+	b.step(false)
+	if got := b.Level(); got != BrownoutEmergency {
+		t.Fatalf("level = %d, want %d (overload resets the streak)", got, BrownoutEmergency)
+	}
+	if got := s.reg.Counter("server_brownout_transitions_total").Value(); got == 0 {
+		t.Error("transitions not counted")
+	}
+}
+
+func TestBrownoutControllerStepsOnRealLoad(t *testing.T) {
+	// End-to-end: a saturated queue trips the sampler, the gauge follows,
+	// and recovery steps back down to normal.
+	s := New(Config{
+		Concurrency: 1, QueueDepth: 4,
+		Brownout: BrownoutConfig{QueueHigh: 1, Interval: 5 * time.Millisecond, Hold: 2},
+	})
+	defer s.Close()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	s.pool.enqueue(0, func() { close(running); <-gate }, nil)
+	<-running
+	s.pool.enqueue(0, func() {}, nil) // pending=1 ≥ QueueHigh
+	deadline := time.Now().Add(5 * time.Second)
+	for s.brown.Level() < BrownoutShedBackground {
+		if time.Now().After(deadline) {
+			t.Fatal("brownout never engaged under queue pressure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.reg.Gauge("server_brownout_level").Value(); got < 1 {
+		t.Errorf("server_brownout_level gauge = %d, want ≥ 1", got)
+	}
+	close(gate)
+	for s.brown.Level() != BrownoutNormal {
+		if time.Now().After(deadline) {
+			t.Fatal("brownout never recovered after load cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClampEscalateStart(t *testing.T) {
+	if got := clampEscalateStart(0); got != brownoutEscalateStart {
+		t.Errorf("clamp(0) = %d, want %d", got, brownoutEscalateStart)
+	}
+	if got := clampEscalateStart(1 << 20); got != brownoutEscalateStart {
+		t.Errorf("clamp(1M) = %d, want %d", got, brownoutEscalateStart)
+	}
+	if got := clampEscalateStart(64); got != 64 {
+		t.Errorf("clamp(64) = %d, want 64 (already below)", got)
+	}
+}

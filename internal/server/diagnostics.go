@@ -10,12 +10,13 @@ import (
 
 // RegisterDiagnostics installs the operational endpoints the binaries
 // share on mux: net/http/pprof under /debug/pprof/, /healthz (process
-// liveness, always 200), /readyz (readiness: 503 with the reason while
-// ready() errors; a nil ready means always ready), and /metrics (the
-// registry in Prometheus text exposition format; an empty document when reg
-// is nil). privanalyzer's -pprof listener and privanalyzerd's main mux both
-// route through here, so the probe surface is identical everywhere.
-func RegisterDiagnostics(mux *http.ServeMux, reg *telemetry.Registry, ready func() error) {
+// liveness, always 200), /readyz (readiness: "ok" plus the detail line
+// while ready, 503 with the reason and detail otherwise; a nil ready means
+// always ready), and /metrics (the registry in Prometheus text exposition
+// format; an empty document when reg is nil). privanalyzer's -pprof
+// listener and privanalyzerd's main mux both route through here, so the
+// probe surface is identical everywhere.
+func RegisterDiagnostics(mux *http.ServeMux, reg *telemetry.Registry, ready func() (string, error)) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -26,14 +27,25 @@ func RegisterDiagnostics(mux *http.ServeMux, reg *telemetry.Registry, ready func
 		fmt.Fprintln(w, "ok")
 	}
 	mux.HandleFunc("/healthz", ok)
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		detail := ""
 		if ready != nil {
-			if err := ready(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			var err error
+			detail, err = ready()
+			if err != nil {
+				msg := err.Error()
+				if detail != "" {
+					msg += "\n" + detail
+				}
+				http.Error(w, msg, http.StatusServiceUnavailable)
 				return
 			}
 		}
-		ok(w, r)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		if detail != "" {
+			fmt.Fprintln(w, detail)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -31,7 +31,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
 	mux.HandleFunc("GET /v1/slowlog", s.instrument("slowlog", s.handleSlowLog))
 	mux.HandleFunc("GET /v1/metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
-	RegisterDiagnostics(mux, s.reg, s.Ready)
+	RegisterDiagnostics(mux, s.reg, s.ReadyDetail)
 	return mux
 }
 
@@ -47,8 +47,19 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError writes the uniform error envelope.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeErrorDetail(w, status, api.ErrorDetail{Code: code, Message: msg})
+}
+
+// writeErrorDetail writes the uniform versioned error envelope from a
+// prebuilt detail, mirroring any retry hint onto the Retry-After header
+// (whole seconds, rounded up) for clients that speak plain HTTP rather than
+// the JSON body's millisecond-precision retry_after_ms.
+func (s *Server) writeErrorDetail(w http.ResponseWriter, status int, det api.ErrorDetail) {
 	s.reg.Counter("server_errors_total").Add(1)
-	s.writeJSON(w, status, api.ErrorResponse{Error: api.ErrorDetail{Code: code, Message: msg}})
+	if det.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((det.RetryAfterMS+999)/1000, 10))
+	}
+	s.writeJSON(w, status, api.ErrorV1{APIVersion: api.Version, Error: det})
 }
 
 // decode strictly unmarshals the request body into v: unknown fields are
@@ -59,25 +70,47 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
-// errorForRun maps an execution failure to its HTTP status, wire code, and
-// message — shared by the synchronous response path and the job outcome.
-func errorForRun(err error) (int, string, string) {
+// errorDetailForRun maps an execution failure to its HTTP status and wire
+// detail — shared by the synchronous response path and the job outcome. The
+// mapping is the stable part of the error contract: one code per failure
+// class, pinned by the envelope golden test.
+func (s *Server) errorDetailForRun(err error) (int, api.ErrorDetail) {
+	var rej *RejectError
 	switch {
-	case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed):
-		return http.StatusServiceUnavailable, api.CodeSaturated, err.Error()
+	case errors.As(err, &rej):
+		return rej.Status, api.ErrorDetail{
+			Code: rej.Code, Message: rej.Message,
+			RetryAfterMS: rej.RetryAfter.Milliseconds(),
+		}
+	case errors.Is(err, ErrShutdown), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable,
+			api.ErrorDetail{Code: api.CodeShutdown, Message: err.Error()}
+	case errors.Is(err, ErrSaturated):
+		return http.StatusServiceUnavailable, api.ErrorDetail{
+			Code: api.CodeQueueFull, Message: err.Error(),
+			RetryAfterMS: s.retryAfter().Milliseconds(),
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		// The deadline expired while the request was still queued; work
+		// already running resolves through the engine's ⏱ path instead.
+		return http.StatusGatewayTimeout, api.ErrorDetail{
+			Code: api.CodeDeadlineExceeded, Message: "deadline expired before the request ran",
+		}
 	case errors.Is(err, context.Canceled):
 		// The client went away while the work was queued (or the drain
 		// window closed under a job); the envelope is best-effort.
-		return http.StatusServiceUnavailable, api.CodeCanceled, "request cancelled before execution"
+		return http.StatusServiceUnavailable,
+			api.ErrorDetail{Code: api.CodeCanceled, Message: "request cancelled before execution"}
 	default:
-		return http.StatusInternalServerError, api.CodeInternal, err.Error()
+		return http.StatusInternalServerError,
+			api.ErrorDetail{Code: api.CodeInternal, Message: err.Error()}
 	}
 }
 
 // runError maps a run() failure to its HTTP response.
 func (s *Server) runError(w http.ResponseWriter, err error) {
-	status, code, msg := errorForRun(err)
-	s.writeError(w, status, code, msg)
+	status, det := s.errorDetailForRun(err)
+	s.writeErrorDetail(w, status, det)
 }
 
 // requestError is a pre-admission validation failure: status + envelope.
@@ -102,7 +135,25 @@ type prepared struct {
 	kind     string // "analyze" or "query"
 	priority int
 	timeout  time.Duration
+	// deadline is the request's total budget measured from admission —
+	// queue wait counts against it, unlike timeout, which starts at worker
+	// pickup. Clamped by Config.MaxDeadline; 0 = none.
+	deadline time.Duration
 	run      func(ctx context.Context, watch *jobObserver) (any, error)
+}
+
+// effectiveDeadline clamps the request's deadline_ms to the server cap:
+// asking for more than -max-deadline (or for nothing, when a cap is set)
+// yields the cap.
+func (s *Server) effectiveDeadline(p api.SearchParams) time.Duration {
+	d := time.Duration(p.DeadlineMS) * time.Millisecond
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // prepareAnalyze validates an analyze request and binds it to the program's
@@ -121,14 +172,24 @@ func (s *Server) prepareAnalyze(req api.AnalyzeRequest) (*prepared, *requestErro
 		return nil, badRequest(err)
 	}
 	opts.Checker = s.checkers.get(p.Name)
+	if s.cfg.SearchFaults != nil {
+		opts.Search.Faults = s.cfg.SearchFaults
+	}
 	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
 	return &prepared{
 		kind:     "analyze",
 		priority: req.Priority,
 		timeout:  req.Search.Timeout.Std(),
+		deadline: s.effectiveDeadline(req.Search),
 		run: func(ctx context.Context, watch *jobObserver) (any, error) {
 			o := opts
 			watch.attach(&o.Search)
+			// Brownout degrade-search: force the escalation ladder to start
+			// low, so each admitted search proves it needs budget before it
+			// gets budget. Meaningless without a ladder (no_escalate).
+			if s.degradeSearch() && !o.Search.NoEscalate {
+				o.Search.Escalate.Start = clampEscalateStart(o.Search.Escalate.Start)
+			}
 			a, err := core.AnalyzeContext(ctx, p, o)
 			if err != nil {
 				return nil, err
@@ -154,13 +215,20 @@ func (s *Server) prepareQuery(req api.QueryRequest) (*prepared, *requestError) {
 		key = "\x00adhoc-ext"
 	}
 	checker := s.checkers.get(key)
+	if s.cfg.SearchFaults != nil {
+		q.Options.Faults = s.cfg.SearchFaults
+	}
 	s.reg.Gauge("server_checkers_resident").Set(int64(s.checkers.len()))
 	return &prepared{
 		kind:     "query",
 		priority: req.Priority,
 		timeout:  req.Search.Timeout.Std(),
+		deadline: s.effectiveDeadline(req.Search),
 		run: func(ctx context.Context, watch *jobObserver) (any, error) {
 			watch.attach(&q.Options)
+			if s.degradeSearch() && !q.Options.NoEscalate {
+				q.Options.Escalate.Start = clampEscalateStart(q.Options.Escalate.Start)
+			}
 			res, err := checker.Run(ctx, q)
 			if err != nil {
 				return nil, err
@@ -177,11 +245,21 @@ func (s *Server) prepareQuery(req api.QueryRequest) (*prepared, *requestError) {
 	}, nil
 }
 
-// serveSync runs a prepared request through the pool and writes the
-// response — the synchronous endpoints' tail.
+// serveSync runs a prepared request through admission and the pool and
+// writes the response — the synchronous endpoints' tail. The search context
+// derives from r.Context(), so a client disconnect withdraws queued work and
+// cancels running work; the request deadline (when set) starts here, at
+// admission, so queue wait counts against it and an expired-in-queue request
+// is withdrawn without ever running.
 func (s *Server) serveSync(w http.ResponseWriter, r *http.Request, p *prepared) {
+	ctx := r.Context()
+	if p.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.deadline)
+		defer cancel()
+	}
 	var resp any
-	err := s.run(r.Context(), p.priority, p.timeout, func(ctx context.Context) error {
+	err := s.run(ctx, p.kind, p.priority, p.timeout, func(ctx context.Context) error {
 		v, err := p.run(ctx, nil)
 		resp = v
 		return err

@@ -20,6 +20,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync"
@@ -67,7 +69,33 @@ type jobRecord struct {
 	errInfo *api.ErrorDetail
 	errHTTP int
 
+	// deadline is the job's absolute expiry (zero = none); dlTimer is the
+	// in-queue withdrawal timer, stopped once a worker picks the job up
+	// (the execution context's deadline takes over).
+	deadline time.Time
+	dlTimer  *time.Timer
+
 	done chan struct{}
+}
+
+// setDeadline records the job's absolute expiry and its in-queue timer.
+func (j *jobRecord) setDeadline(at time.Time, t *time.Timer) {
+	j.mu.Lock()
+	j.deadline = at
+	j.dlTimer = t
+	j.mu.Unlock()
+}
+
+// deadlineAt returns the job's absolute expiry, stopping the in-queue timer
+// — the moment a worker owns the job, expiry is the context's business.
+func (j *jobRecord) deadlineAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dlTimer != nil {
+		j.dlTimer.Stop()
+		j.dlTimer = nil
+	}
+	return j.deadline
 }
 
 func newJobRecord(kind, requestID string) *jobRecord {
@@ -131,9 +159,15 @@ func (j *jobRecord) latestStats() *api.SearchStats {
 }
 
 // finish records the terminal outcome — envelope bytes on success, the error
-// detail plus its HTTP status otherwise — and releases every waiter.
+// detail plus its HTTP status otherwise — and releases every waiter. The
+// first terminal outcome wins: a deadline withdrawal and the worker racing
+// to resolve the same job must not double-close done.
 func (j *jobRecord) finish(result []byte, httpStatus int, errInfo *api.ErrorDetail) {
 	j.mu.Lock()
+	if j.status == api.JobDone {
+		j.mu.Unlock()
+		return
+	}
 	j.status = api.JobDone
 	j.result = result
 	j.errInfo = errInfo
@@ -273,22 +307,58 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter("server_requests_total").Add(1)
+	tkt, rej := s.admit(p.kind, p.priority)
+	if rej != nil {
+		s.runError(w, rej)
+		return
+	}
 
 	j := newJobRecord(p.kind, telemetry.RequestID(r.Context()))
 	if !s.jobs.add(j) {
-		s.reg.Counter("server_rejected_total").Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, api.CodeSaturated,
-			"job registry full: all resident jobs still running")
+		tkt.release()
+		s.countShed("queue_full")
+		s.writeErrorDetail(w, http.StatusServiceUnavailable, api.ErrorDetail{
+			Code:         api.CodeQueueFull,
+			Message:      "job registry full: all resident jobs still running",
+			RetryAfterMS: s.retryAfter().Milliseconds(),
+		})
 		return
 	}
-	pooled, err := s.pool.enqueue(p.priority, func() { s.execJob(j, p) })
+	// onAbort resolves a job the drain policy or a deadline withdrew before
+	// any worker owned it: a terminal status with the matching error code —
+	// never silence. Bound at enqueue so an abort cannot race past it.
+	pooled, err := s.pool.enqueue(p.priority, func() { s.execJob(j, p, tkt) }, func(aerr error) {
+		tkt.release()
+		status, det := s.errorDetailForRun(aerr)
+		s.reg.Counter("server_errors_total").Add(1)
+		j.finish(nil, status, &det)
+		j.sink.Close()
+	})
 	if err != nil {
+		tkt.release()
 		s.jobs.remove(j.id)
-		s.reg.Counter("server_rejected_total").Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, api.CodeSaturated, err.Error())
+		if errors.Is(err, ErrClosed) {
+			s.countShed("shutdown")
+		} else {
+			s.countShed("queue_full")
+		}
+		s.runError(w, err)
 		return
 	}
 	j.setPooled(pooled)
+	if p.deadline > 0 {
+		// In-queue expiry: withdraw the job and resolve it 504 without ever
+		// running. Once a worker picks it up, deadlineAt stops this timer
+		// and the execution context's deadline takes over.
+		at := time.Now().Add(p.deadline)
+		timer := time.AfterFunc(p.deadline, func() {
+			if s.pool.withdraw(pooled) {
+				s.countShed("deadline")
+				pooled.abort(context.DeadlineExceeded)
+			}
+		})
+		j.setDeadline(at, timer)
+	}
 	s.reg.Counter("server_jobs_total").Add(1)
 	s.reg.Gauge("server_jobs_resident").Set(int64(s.jobs.len()))
 	pending, inflight := s.pool.stats()
@@ -307,9 +377,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 // execJob runs a prepared request on a pool worker with the job's observer
 // attached, then stores the terminal envelope. Runs under the server's base
-// context (plus the effective request timeout), so watchers' disconnects
-// never cancel it; the drain deadline does.
-func (s *Server) execJob(j *jobRecord, p *prepared) {
+// context (plus the effective request timeout and any remaining deadline),
+// so watchers' disconnects never cancel it; the drain deadline does. The
+// admission ticket releases here — the job's terminal state.
+func (s *Server) execJob(j *jobRecord, p *prepared, tkt *ticket) {
+	defer tkt.release()
 	j.setRunning()
 	ctx := telemetry.NewContext(s.base, s.reg)
 	// Jobs descend from the server base, not the submitting request, so they
@@ -326,6 +398,13 @@ func (s *Server) execJob(j *jobRecord, p *prepared) {
 		ctx = telemetry.WithRequestID(ctx, j.requestID)
 	}
 	ctx = telemetry.WithLogger(ctx, lg)
+	if at := j.deadlineAt(); !at.IsZero() {
+		// The admission-relative deadline survives queue wait: whatever
+		// remains bounds execution through the engine's ⏱ path.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, at)
+		defer cancel()
+	}
 	timeout := p.timeout
 	if timeout <= 0 {
 		timeout = s.cfg.RequestTimeout
@@ -341,16 +420,29 @@ func (s *Server) execJob(j *jobRecord, p *prepared) {
 		interval: s.cfg.JobStatsInterval,
 		onStats:  func(st *rewrite.SearchStats) { j.setStats(api.FromSearchStats(st)) },
 	}
-	v, err := p.run(ctx, watch)
+	started := time.Now()
+	v, err := func() (v any, err error) {
+		// A panic escaping the engine's own isolation resolves the job with
+		// a terminal internal error — the SSE stream ends with an error
+		// frame, not silence, and the worker survives.
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("%w: %v", ErrWorkerPanic, rec)
+			}
+		}()
+		s.cfg.ServerFaults.BeforeExecute()
+		return p.run(ctx, watch)
+	}()
+	s.observeCost(p.kind, meta, time.Since(started))
 	var buf bytes.Buffer
 	if err == nil {
 		err = api.Encode(&buf, v)
 	}
 	if err != nil {
-		status, code, msg := errorForRun(err)
+		status, det := s.errorDetailForRun(err)
 		s.reg.Counter("server_errors_total").Add(1)
 		lg.Warn("job failed", "component", "server", "kind", j.kind, "error", err)
-		j.finish(nil, status, &api.ErrorDetail{Code: code, Message: msg})
+		j.finish(nil, status, &det)
 	} else {
 		lg.Info("job done", "component", "server", "kind", j.kind, "elapsed", time.Since(j.created))
 		j.finish(buf.Bytes(), 0, nil)
@@ -468,7 +560,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			result, errInfo := j.outcome()
 			if errInfo != nil {
 				var buf bytes.Buffer
-				if api.Encode(&buf, api.ErrorResponse{Error: *errInfo}) == nil {
+				if api.Encode(&buf, api.ErrorV1{APIVersion: api.Version, Error: *errInfo}) == nil {
 					writeSSE(w, "error", buf.Bytes())
 				}
 			} else {

@@ -219,7 +219,7 @@ func TestJobLifecycle(t *testing.T) {
 	// Occupy the single worker so the job stays observably queued.
 	gate := make(chan struct{})
 	running := make(chan struct{})
-	if _, err := s.pool.enqueue(0, func() { close(running); <-gate }); err != nil {
+	if _, err := s.pool.enqueue(0, func() { close(running); <-gate }, nil); err != nil {
 		t.Fatal(err)
 	}
 	<-running
@@ -476,7 +476,7 @@ func TestJobEventsDrainShutdownFrame(t *testing.T) {
 
 	gate := make(chan struct{})
 	running := make(chan struct{})
-	if _, err := s.pool.enqueue(0, func() { close(running); <-gate }); err != nil {
+	if _, err := s.pool.enqueue(0, func() { close(running); <-gate }, nil); err != nil {
 		t.Fatal(err)
 	}
 	<-running

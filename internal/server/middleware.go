@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privanalyzer/internal/api"
 	"privanalyzer/internal/telemetry"
 )
 
@@ -19,6 +20,10 @@ import (
 type reqMeta struct {
 	queueWaitNS atomic.Int64
 	priority    atomic.Int64
+	// costObserved flips when the request's ledger cost reached the
+	// admission estimator (recordSlow), so the server's outer wall
+	// measurement is only used as the fallback signal.
+	costObserved atomic.Bool
 }
 
 type reqMetaKey struct{}
@@ -98,7 +103,25 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		ctx, meta := withReqMeta(telemetry.WithRequestID(r.Context(), id))
-		h(sw, r.WithContext(ctx))
+		func() {
+			// A panicking handler must still answer: net/http's own recovery
+			// would drop the connection mid-air, which a client sees as a hang
+			// or a truncated body. Recover here and turn it into the uniform
+			// 500 envelope — the X-Request-ID header is already set, so the
+			// failure stays correlatable.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.log.Error("handler panic",
+						"component", "server", "route", route,
+						"request_id", id, "panic", rec)
+					if sw.status == 0 {
+						s.writeError(sw, http.StatusInternalServerError,
+							api.CodeInternal, "internal error: handler panic")
+					}
+				}
+			}()
+			h(sw, r.WithContext(ctx))
+		}()
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}

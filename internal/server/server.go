@@ -21,6 +21,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"privanalyzer/internal/api"
+	"privanalyzer/internal/faultinject"
 	"privanalyzer/internal/telemetry"
 )
 
@@ -59,6 +61,28 @@ type Config struct {
 	// costliest requests are retained. 0 = 32. Requests running with the
 	// cost ledger disabled (no_cost) never enter the journal.
 	SlowLog int
+	// MaxQueueCost bounds the estimated backlog the server will hold: the
+	// sum of per-kind EWMA cost estimates (fed by the obs.QueryCost ledger)
+	// over admitted-but-unfinished requests. Over-budget work is rejected
+	// with a 429 "admission_rejected" envelope carrying retry_after_ms
+	// derived from the current queue-wait p95. 0 disables the cost gate
+	// (the queue-depth bound still applies).
+	MaxQueueCost time.Duration
+	// MaxDeadline caps each request's deadline_ms; requests asking for more
+	// (or none) get this. Queue wait counts against the deadline — a request
+	// still queued at expiry is withdrawn without running (504). 0 = no cap
+	// and no server-imposed deadline.
+	MaxDeadline time.Duration
+	// Brownout declares the overload thresholds for the degradation
+	// controller (brownout.go). The zero value disables it.
+	Brownout BrownoutConfig
+	// ServerFaults injects serving-layer faults (chaos tests): handler
+	// panics, worker stalls, queue-full storms. Nil injects nothing.
+	ServerFaults *faultinject.ServerPlan
+	// SearchFaults, when set, is threaded into every request's search
+	// options (chaos tests: deterministic engine faults under serving
+	// load). Nil injects nothing.
+	SearchFaults *faultinject.Plan
 	// Registry receives the server and engine metrics. Nil builds one.
 	Registry *telemetry.Registry
 	// Logger receives structured logs. Nil discards.
@@ -75,6 +99,8 @@ type Server struct {
 	checkers *checkerLRU
 	jobs     *jobRegistry
 	slow     *slowLog
+	adm      *Admission
+	brown    *brownout
 	mux      *http.ServeMux
 
 	// base is the context async jobs (and Serve's requests) descend from: a
@@ -122,6 +148,7 @@ func New(cfg Config) *Server {
 		checkers: newCheckerLRU(cfg.Checkers),
 		jobs:     newJobRegistry(),
 		slow:     newSlowLog(cfg.SlowLog),
+		adm:      NewAdmission(cfg.MaxQueueCost),
 		drainCh:  make(chan struct{}),
 	}
 	s.base, s.killBase = context.WithCancel(context.Background())
@@ -129,6 +156,10 @@ func New(cfg Config) *Server {
 	for _, name := range []string{
 		"server_requests_total", "server_errors_total",
 		"server_rejected_total",
+		"server_shed_queue_full_total", "server_shed_cost_total",
+		"server_shed_brownout_total", "server_shed_deadline_total",
+		"server_shed_shutdown_total",
+		"server_brownout_transitions_total",
 		"server_jobs_total",
 		"rosa_queries_total",
 		"rosa_succ_cache_hits_total", "rosa_succ_cache_misses_total",
@@ -144,6 +175,7 @@ func New(cfg Config) *Server {
 	s.reg.Gauge("server_queue_inflight")
 	s.reg.Gauge("server_checkers_resident")
 	s.reg.Gauge("server_jobs_resident")
+	s.reg.Gauge("server_brownout_level")
 	// The serving histograms' steady-state schema: the happy-path status per
 	// route is visible (at zero) from boot; error statuses appear on first
 	// occurrence.
@@ -159,6 +191,9 @@ func New(cfg Config) *Server {
 	// /v1/metrics.json expose the process_* schema before the first scrape;
 	// every scrape re-samples.
 	s.reg.SampleProcess()
+	// The brownout controller samples the pool, registry, and logger, so it
+	// starts last.
+	s.brown = newBrownout(s, cfg.Brownout)
 	s.mux = s.routes()
 	return s
 }
@@ -170,10 +205,28 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Ready reports admission readiness: nil when a request submitted now would
 // be queued, ErrSaturated/ErrClosed otherwise. /readyz maps an error to 503.
 func (s *Server) Ready() error {
+	_, err := s.ReadyDetail()
+	return err
+}
+
+// ReadyDetail reports readiness plus a one-line operational detail for
+// /readyz: queue occupancy, estimated backlog, and the brownout level. The
+// error is non-nil when the server should not receive new traffic — the
+// queue is saturated, drain has begun, or the brownout controller is at
+// emergency.
+func (s *Server) ReadyDetail() (string, error) {
+	pending, inflight := s.pool.stats()
+	lvl := s.brown.Level()
+	detail := fmt.Sprintf("queue %d/%d inflight %d/%d backlog %s brownout %d (%s)",
+		pending, s.cfg.QueueDepth, inflight, s.cfg.Concurrency,
+		s.adm.Backlog().Round(time.Millisecond), lvl, brownoutLevelName(lvl))
 	if s.pool.saturated() {
-		return ErrSaturated
+		return detail, ErrSaturated
 	}
-	return nil
+	if lvl >= BrownoutEmergency {
+		return detail, fmt.Errorf("server: brownout level %d (%s)", lvl, brownoutLevelName(lvl))
+	}
+	return detail, nil
 }
 
 // beginDrain flips the server into draining: SSE streams see drainCh close
@@ -182,33 +235,67 @@ func (s *Server) beginDrain() {
 	s.drainOnce.Do(func() { close(s.drainCh) })
 }
 
-// Close stops admissions and waits for queued and in-flight work to finish.
-// For direct-Handler users (tests); Serve runs the same sequence during
-// drain with the HTTP shutdown interleaved.
+// Close stops admissions, aborts queued-but-unstarted work with a terminal
+// shutdown outcome, and waits (bounded by DrainTimeout) for in-flight work
+// to finish before cancelling stragglers. For direct-Handler users (tests);
+// Serve runs the same sequence during drain with the HTTP shutdown
+// interleaved.
 func (s *Server) Close() {
 	s.beginDrain()
-	s.pool.drain()
+	if n := s.pool.abortPending(ErrShutdown); n > 0 {
+		s.reg.Counter("server_shed_shutdown_total").Add(int64(n))
+	}
+	if !s.pool.drainWithin(s.cfg.DrainTimeout) {
+		s.log.Warn("drain timeout: cancelling stragglers", "component", "server")
+		s.killBase()
+		s.pool.drainWithin(time.Second)
+	}
 	s.killBase()
+	s.brown.close()
 }
 
-// run pushes fn through the admission queue and executes it with the
+// observeCost feeds one finished request's wall time into the admission
+// estimator — unless the request's ledger cost already did (recordSlow), in
+// which case the finer measurement wins.
+func (s *Server) observeCost(kind string, meta *reqMeta, wall time.Duration) {
+	if meta != nil && meta.costObserved.Load() {
+		return
+	}
+	s.adm.Observe(kind, wall)
+}
+
+// run pushes fn through admission and the queue and executes it with the
 // server's telemetry context and the effective request timeout. The
-// returned error is ErrSaturated/ErrClosed on rejection, the waiter's
-// context error on pre-execution cancellation, or fn's own error.
-func (s *Server) run(parent context.Context, priority int, timeout time.Duration, fn func(context.Context) error) error {
+// returned error is a *RejectError on admission rejection,
+// ErrSaturated/ErrClosed/ErrShutdown on queue rejection or drain abort, the
+// waiter's context error on pre-execution cancellation (client disconnect,
+// deadline expiry in queue), or fn's own error. Panics escaping fn resolve
+// to an ErrWorkerPanic-wrapped error, never a hung connection.
+func (s *Server) run(parent context.Context, kind string, priority int, timeout time.Duration, fn func(context.Context) error) error {
 	s.reg.Counter("server_requests_total").Add(1)
+	tkt, rej := s.admit(kind, priority)
+	if rej != nil {
+		return rej
+	}
 	pending, inflight := s.pool.stats()
 	s.reg.Gauge("server_queue_pending").Set(int64(pending))
 	s.reg.Gauge("server_queue_inflight").Set(int64(inflight))
 	var err error
 	submitted := time.Now()
 	submitErr := s.pool.submit(parent, priority, func() {
+		defer tkt.release()
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("%w: %v", ErrWorkerPanic, rec)
+			}
+		}()
 		// The pool worker is the first to know the request's queue wait;
 		// stamp it (and the effective priority) onto the request's carrier
 		// for the access log and the slow-query journal.
-		if m := reqMetaFrom(parent); m != nil {
-			m.queueWaitNS.Store(time.Since(submitted).Nanoseconds())
-			m.priority.Store(int64(priority))
+		meta := reqMetaFrom(parent)
+		if meta != nil {
+			meta.queueWaitNS.Store(time.Since(submitted).Nanoseconds())
+			meta.priority.Store(int64(priority))
 		}
 		ctx := telemetry.NewContext(parent, s.reg)
 		lg := s.log
@@ -224,11 +311,20 @@ func (s *Server) run(parent context.Context, priority int, timeout time.Duration
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
+		started := time.Now()
+		s.cfg.ServerFaults.BeforeExecute()
 		err = fn(ctx)
+		s.observeCost(kind, meta, time.Since(started))
 	})
 	if submitErr != nil {
-		if errors.Is(submitErr, ErrSaturated) || errors.Is(submitErr, ErrClosed) {
-			s.reg.Counter("server_rejected_total").Add(1)
+		tkt.release()
+		switch {
+		case errors.Is(submitErr, ErrSaturated):
+			s.countShed("queue_full")
+		case errors.Is(submitErr, ErrClosed), errors.Is(submitErr, ErrShutdown):
+			s.countShed("shutdown")
+		case errors.Is(submitErr, context.DeadlineExceeded):
+			s.countShed("deadline")
 		}
 		return submitErr
 	}
@@ -255,12 +351,24 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	s.log.Info("server draining", "component", "server", "timeout", s.cfg.DrainTimeout)
 	s.beginDrain()
-	s.pool.close()
-	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	// Drain policy: queued-but-unstarted work is aborted with a terminal
+	// shutdown outcome (sync waiters get a 503 "shutdown" envelope, async
+	// jobs a terminal status) rather than racing the drain window; in-flight
+	// work gets the window to finish. One shared deadline bounds the whole
+	// sequence, so a stalled worker can never hold exit past DrainTimeout.
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	if n := s.pool.abortPending(ErrShutdown); n > 0 {
+		s.reg.Counter("server_shed_shutdown_total").Add(int64(n))
+		s.log.Info("drain aborted queued work", "component", "server", "aborted", n)
+	}
+	dctx, cancel := context.WithDeadline(context.Background(), deadline)
 	defer cancel()
 	err := hs.Shutdown(dctx)
 	s.killBase()
-	s.pool.drain()
+	if !s.pool.drainWithin(time.Until(deadline)) {
+		s.log.Warn("drain timeout: abandoning a stalled worker", "component", "server")
+	}
+	s.brown.close()
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

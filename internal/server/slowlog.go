@@ -154,6 +154,13 @@ func (s *Server) recordSlow(ctx context.Context, kind, label, verdicts string, c
 	if cost == nil {
 		return
 	}
+	// The ledger's wall measurement is the admission gate's cost model: feed
+	// the per-kind estimate and mark the request observed so the server's
+	// coarser outer wall measurement doesn't double-count it.
+	s.adm.Observe(kind, time.Duration(cost.WallNS))
+	if m := reqMetaFrom(ctx); m != nil {
+		m.costObserved.Store(true)
+	}
 	e := slowEntry{
 		time:      time.Now(),
 		kind:      kind,
